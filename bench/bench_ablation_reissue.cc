@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation — TokenB's reissue/starvation policy (Sections 3.2, 4.2).
+ *
+ * Compares, under a contended hot-set microbenchmark where races are
+ * common:
+ *  - the paper's policy (reissue ~4 times at 2x the average miss
+ *    latency with randomized exponential backoff, then a persistent
+ *    request);
+ *  - aggressive reissue (1x multiple, no room for responses to land);
+ *  - conservative reissue (8x multiple);
+ *  - no reissues at all (first timeout escalates to a persistent
+ *    request);
+ *  - the null performance protocol (persistent requests only) as the
+ *    correctness-without-performance floor.
+ *
+ * The point of the figure: the performance protocol's policy affects
+ * only performance — every variant completes every miss.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace tokensim;
+
+namespace {
+
+ExperimentResult
+run(const char *label, ProtocolKind proto, double multiple,
+    int max_reissues, bool reissue_enabled, std::uint64_t ops)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 16;
+    cfg.topology = "torus";
+    cfg.protocol = proto;
+    cfg.workload = "uniform";
+    cfg.uniformBlocks = 64;   // hot: races are common
+    cfg.microStoreFraction = 0.5;
+    cfg.opsPerProcessor = ops;
+    cfg.proto.reissueLatencyMultiple = multiple;
+    cfg.proto.maxReissues = max_reissues;
+    cfg.proto.reissueEnabled = reissue_enabled;
+    cfg.seed = 13;
+    return runExperiment(cfg, bench::benchSeeds(), label);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: reissue & persistent-request policy "
+                  "(hot 64-block set, 50% stores, 16 procs)");
+    std::printf("  %-26s %12s %10s %10s %11s\n", "policy",
+                "cycles/txn", "reissued%", "persist%",
+                "miss lat ns");
+
+    struct Policy
+    {
+        const char *label;
+        ProtocolKind proto;
+        double multiple;
+        int max_reissues;
+        bool enabled;
+    };
+    const Policy policies[] = {
+        {"paper (2x avg, 4 reissues)", ProtocolKind::tokenB, 2.0, 4,
+         true},
+        {"aggressive (1x avg)", ProtocolKind::tokenB, 1.0, 4, true},
+        {"conservative (8x avg)", ProtocolKind::tokenB, 8.0, 4, true},
+        {"no reissues (persist only)", ProtocolKind::tokenB, 2.0, 0,
+         false},
+        {"null protocol (TokenNull)", ProtocolKind::tokenNull, 2.0, 0,
+         false},
+    };
+
+    const std::uint64_t base_ops = bench::benchOps() / 2;
+    for (const Policy &p : policies) {
+        // The null protocol resolves every miss through the arbiter;
+        // keep its op count modest so the bench stays quick.
+        const std::uint64_t ops =
+            p.proto == ProtocolKind::tokenNull ? base_ops / 20
+                                               : base_ops;
+        const ExperimentResult r =
+            run(p.label, p.proto, p.multiple, p.max_reissues,
+                p.enabled, ops);
+        std::printf("  %-26s %12.1f %9.2f%% %9.2f%% %11.0f\n",
+                    p.label, r.cyclesPerTransaction,
+                    r.pctReissuedOnce + r.pctReissuedMore,
+                    r.pctPersistent, r.avgMissLatencyNs);
+    }
+    std::printf("\n  (every policy is *correct* — the substrate "
+                "guarantees safety and liveness;\n   the policy only "
+                "moves the latency/traffic point, which is the "
+                "decoupling claim)\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation — token count T and the Section-7 performance protocols.
+ *
+ * Part 1: the storage encoding cost of Section 3.1 (2 + ceil(log2 T)
+ * bits per block) and the performance sensitivity to T (T = N is the
+ * minimum; larger T lets more readers hold tokens simultaneously
+ * before the owner runs out, at slightly higher storage cost).
+ *
+ * Part 2: the Section-7 traffic/latency spectrum on one workload —
+ * TokenB (broadcast), TokenM (destination-set prediction), TokenD
+ * (home-redirected, directory-like traffic) — all on the unchanged
+ * correctness substrate.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/token_state.hh"
+
+using namespace tokensim;
+
+int
+main()
+{
+    bench::header("Token storage encoding (Section 3.1)");
+    std::printf("  %6s %6s %18s\n", "T", "bits", "overhead (64B blk)");
+    for (int t : {16, 17, 32, 64, 128}) {
+        TokenCoding c(t);
+        std::printf("  %6d %6d %17.2f%%\n", t, c.bits(),
+                    100.0 * c.overhead(64));
+    }
+    std::printf("  (paper: 64 tokens with 64-byte blocks adds one "
+                "byte, 1.6%% overhead)\n");
+
+    bench::header("Sensitivity to tokens per block "
+                  "(TokenB, OLTP, 16 procs)");
+    std::printf("  %8s %14s %10s %12s\n", "T", "cycles/txn", "misses",
+                "reissued%");
+    for (int t : {16, 32, 64}) {
+        SystemConfig cfg =
+            bench::paperConfig(ProtocolKind::tokenB, "torus", "oltp");
+        cfg.proto.tokensPerBlock = t;
+        const ExperimentResult r =
+            runExperiment(cfg, bench::benchSeeds(), "T");
+        std::printf("  %8d %14.1f %10llu %11.2f%%\n", t,
+                    r.cyclesPerTransaction,
+                    static_cast<unsigned long long>(r.misses),
+                    r.pctReissuedOnce + r.pctReissuedMore);
+    }
+
+    bench::header("Section 7 performance-protocol spectrum "
+                  "(OLTP, 16 procs, torus)");
+    std::printf("  %-8s %14s %14s %14s %12s\n", "proto", "cycles/txn",
+                "req bytes/miss", "tot bytes/miss", "persist%");
+    for (ProtocolKind proto : {ProtocolKind::tokenB,
+                               ProtocolKind::tokenM,
+                               ProtocolKind::tokenA,
+                               ProtocolKind::tokenD}) {
+        SystemConfig cfg = bench::paperConfig(proto, "torus", "oltp");
+        const ExperimentResult r = runExperiment(
+            cfg, bench::benchSeeds(), protocolName(proto));
+        const double req =
+            r.bytesPerMissByClass[static_cast<int>(
+                MsgClass::request)] +
+            r.bytesPerMissByClass[static_cast<int>(
+                MsgClass::reissue)];
+        std::printf("  %-8s %14.1f %14.1f %14.1f %11.2f%%\n",
+                    protocolName(proto), r.cyclesPerTransaction, req,
+                    r.bytesPerMiss, r.pctPersistent);
+    }
+    std::printf("\n  (expected: TokenB has the lowest latency; TokenM "
+                "cuts request traffic via destination-set\n   "
+                "prediction at a modest latency cost; TokenD adds the "
+                "home indirection for directory-like\n   behavior — "
+                "all three share the unchanged correctness "
+                "substrate)\n");
+    return 0;
+}

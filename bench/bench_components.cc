@@ -1,0 +1,156 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate: event
+ * queue throughput, cache array operations, topology routing and
+ * multicast-tree construction, network message delivery, Zipf
+ * sampling, and an end-to-end simulated-ops-per-second figure for the
+ * whole stack. These guard the simulator's own performance (the
+ * paper-scale benches simulate hundreds of thousands of misses).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "harness/system.hh"
+#include "mem/cache.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "workload/commercial.hh"
+
+namespace tokensim {
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1000; ++i) {
+            eq.schedule(static_cast<Tick>((i * 37) % 500),
+                        [&sink]() { ++sink; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+struct BenchLine : CacheLineBase
+{
+    std::uint64_t payload = 0;
+};
+
+void
+BM_CacheArrayTouch(benchmark::State &state)
+{
+    CacheArray<BenchLine> cache(CacheParams{4 * 1024 * 1024, 4, 64,
+                                            nsToTicks(6)});
+    CacheArray<BenchLine>::Victim v;
+    for (Addr a = 0; a < 4096 * 64; a += 64)
+        cache.allocate(a, &v);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.touch(a));
+        a = (a + 64) % (4096 * 64);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayTouch);
+
+void
+BM_TorusRouteLookup(benchmark::State &state)
+{
+    std::unique_ptr<Topology> topo(makeTopology("torus", 64));
+    NodeId s = 0, d = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(&topo->route(s, d));
+        s = (s + 7) % 64;
+        d = (d + 13) % 64;
+        if (s == d)
+            d = (d + 1) % 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TorusRouteLookup);
+
+void
+BM_MulticastTreeConstruction(benchmark::State &state)
+{
+    std::unique_ptr<Topology> topo(makeTopology("torus", 64));
+    std::vector<NodeId> dests{3, 17, 30, 44, 58};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(topo->multicastTree(0, dests));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MulticastTreeConstruction);
+
+class NullSink : public NetworkEndpoint
+{
+  public:
+    void deliver(const Message &) override {}
+};
+
+void
+BM_NetworkBroadcast(benchmark::State &state)
+{
+    EventQueue eq;
+    Network net(eq,
+                std::unique_ptr<Topology>(makeTopology("torus", 16)),
+                NetworkParams{});
+    std::vector<std::unique_ptr<NullSink>> sinks;
+    for (int i = 0; i < 16; ++i) {
+        sinks.push_back(std::make_unique<NullSink>());
+        net.attach(static_cast<NodeId>(i), sinks.back().get());
+    }
+    NodeId src = 0;
+    for (auto _ : state) {
+        Message m;
+        m.type = MsgType::getS;
+        m.cls = MsgClass::request;
+        m.src = src;
+        m.addr = 0x40;
+        net.broadcast(m);
+        eq.run();
+        src = (src + 1) % 16;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkBroadcast);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler z(1 << 16, 0.65);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(z.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_EndToEndSimulatedOps(benchmark::State &state)
+{
+    // Whole-stack throughput: simulated memory operations per second
+    // of wall-clock time, TokenB on the 16-node torus with OLTP.
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.numNodes = 16;
+        cfg.topology = "torus";
+        cfg.protocol = ProtocolKind::tokenB;
+        cfg.workload = "oltp";
+        cfg.opsPerProcessor = 500;
+        System sys(cfg);
+        sys.run();
+        benchmark::DoNotOptimize(sys.results().runtimeTicks);
+    }
+    state.SetItemsProcessed(state.iterations() * 16 * 500);
+}
+BENCHMARK(BM_EndToEndSimulatedOps)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace tokensim

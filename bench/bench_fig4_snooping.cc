@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 4 — Snooping vs. TokenB: runtime (4a) and traffic (4b).
+ *
+ * Runtime bars per workload: TokenB on the ordered tree, Snooping on
+ * the tree, TokenB on the unordered torus (snooping on the torus is
+ * not applicable — it needs the total order), each with 3.2 GB/s links
+ * and with unlimited bandwidth. Normalized to TokenB-tree (limited).
+ *
+ * Paper shape:
+ *  - on the same tree, Snooping is slightly (1-5%) faster than TokenB
+ *    (reissues cost a little);
+ *  - TokenB on the torus beats Snooping on the tree by 15-28%
+ *    (unlimited bandwidth) / 26-65% (limited), because the torus has
+ *    lower latency and no root bottleneck;
+ *  - traffic per miss is approximately equal for both on the tree.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace tokensim;
+
+int
+main()
+{
+    const char *workloads[] = {"apache", "oltp", "specjbb"};
+    const int seeds = bench::benchSeeds();
+
+    bench::header("Figure 4a: runtime, snooping v. token coherence "
+                  "(normalized cycles/transaction; lower is better)");
+
+    for (const char *w : workloads) {
+        std::printf("\n%s:\n", w);
+        struct Point
+        {
+            const char *label;
+            ProtocolKind proto;
+            const char *topo;
+            bool unlimited;
+        };
+        const Point points[] = {
+            {"TokenB - tree", ProtocolKind::tokenB, "tree", false},
+            {"TokenB - tree (inf bw)", ProtocolKind::tokenB, "tree",
+             true},
+            {"Snooping - tree", ProtocolKind::snooping, "tree", false},
+            {"Snooping - tree (inf bw)", ProtocolKind::snooping,
+             "tree", true},
+            {"TokenB - torus", ProtocolKind::tokenB, "torus", false},
+            {"TokenB - torus (inf bw)", ProtocolKind::tokenB, "torus",
+             true},
+        };
+        double norm = 0;
+        for (const Point &p : points) {
+            SystemConfig cfg = bench::paperConfig(p.proto, p.topo, w);
+            cfg.net.unlimitedBandwidth = p.unlimited;
+            const ExperimentResult r =
+                runExperiment(cfg, seeds, p.label);
+            if (norm == 0)
+                norm = r.cyclesPerTransaction;
+            bench::bar(p.label, r.cyclesPerTransaction, norm,
+                       strformat("(%.1f cyc/txn +/- %.1f)",
+                                 r.cyclesPerTransaction,
+                                 r.cyclesPerTransactionStddev));
+        }
+        std::printf("  %-28s %6s |  (torus provides no total order)\n",
+                    "Snooping - torus", "n/a");
+    }
+
+    bench::header("Figure 4b: traffic, snooping v. token coherence "
+                  "(bytes per miss on the tree, by category)");
+    std::printf("  %-10s %-10s %9s %9s %9s %9s %9s\n", "workload",
+                "protocol", "req", "reissue+p", "nonData", "data",
+                "total");
+    for (const char *w : workloads) {
+        for (ProtocolKind proto : {ProtocolKind::tokenB,
+                                   ProtocolKind::snooping}) {
+            SystemConfig cfg = bench::paperConfig(proto, "tree", w);
+            const ExperimentResult r = runExperiment(cfg, seeds, w);
+            const double reissue_persistent =
+                r.bytesPerMissByClass[static_cast<int>(
+                    MsgClass::reissue)] +
+                r.bytesPerMissByClass[static_cast<int>(
+                    MsgClass::persistent)];
+            std::printf(
+                "  %-10s %-10s %9.1f %9.1f %9.1f %9.1f %9.1f\n", w,
+                protocolName(proto),
+                r.bytesPerMissByClass[static_cast<int>(
+                    MsgClass::request)],
+                reissue_persistent,
+                r.bytesPerMissByClass[static_cast<int>(
+                    MsgClass::nonData)],
+                r.bytesPerMissByClass[static_cast<int>(
+                    MsgClass::data)],
+                r.bytesPerMiss);
+        }
+    }
+    std::printf("\n  (paper: both protocols use approximately the "
+                "same bandwidth on the tree)\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries:
+ * standard configurations (Table 1), run sizing, and table/bar
+ * printing in the style of the paper's figures.
+ *
+ * Environment knobs:
+ *   TOKENSIM_BENCH_OPS    operations per processor (default 6000)
+ *   TOKENSIM_BENCH_SEEDS  seeds per design point   (default 2)
+ */
+
+#ifndef TOKENSIM_BENCH_BENCH_UTIL_HH
+#define TOKENSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+
+namespace tokensim {
+namespace bench {
+
+inline std::uint64_t
+benchOps()
+{
+    if (const char *s = std::getenv("TOKENSIM_BENCH_OPS"))
+        return std::strtoull(s, nullptr, 10);
+    return 6000;
+}
+
+inline int
+benchSeeds()
+{
+    if (const char *s = std::getenv("TOKENSIM_BENCH_SEEDS"))
+        return static_cast<int>(std::strtol(s, nullptr, 10));
+    return 2;
+}
+
+/** The paper's 16-processor target system (Table 1). */
+inline SystemConfig
+paperConfig(ProtocolKind proto, const std::string &topology,
+            const std::string &workload)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 16;
+    cfg.topology = topology;
+    cfg.protocol = proto;
+    cfg.workload = workload;
+    cfg.opsPerProcessor = benchOps();
+    // The paper measures from warmed checkpoints; warm the caches
+    // and sharing state before the measured window.
+    cfg.warmupOpsPerProcessor = benchOps();
+    cfg.seed = 7;
+    return cfg;
+}
+
+/** Print a section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n%s\n", title.c_str());
+    for (std::size_t i = 0; i < title.size(); ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print one normalized bar with a text gauge. */
+inline void
+bar(const std::string &label, double value, double norm,
+    const std::string &extra = "")
+{
+    const double rel = norm > 0 ? value / norm : 0.0;
+    std::printf("  %-28s %6.3f |", label.c_str(), rel);
+    const int width = static_cast<int>(rel * 32.0 + 0.5);
+    for (int i = 0; i < width && i < 64; ++i)
+        std::putchar('#');
+    if (!extra.empty())
+        std::printf("  %s", extra.c_str());
+    std::putchar('\n');
+}
+
+/** A labelled runtime/traffic result. */
+struct Row
+{
+    std::string label;
+    ExperimentResult r;
+};
+
+} // namespace bench
+} // namespace tokensim
+
+#endif // TOKENSIM_BENCH_BENCH_UTIL_HH

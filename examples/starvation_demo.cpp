@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Starvation avoidance demo (Section 3.2).
+ *
+ * Eight processors hammer a single block with stores — the worst case
+ * for racing transient requests, where tokens can ping-pong and a
+ * plain broadcast protocol could starve a requester indefinitely.
+ * The correctness substrate's persistent requests guarantee every
+ * operation completes:
+ *
+ *   1. TokenB under extreme contention: watch reissues climb and the
+ *      occasional persistent request break ties.
+ *   2. TokenNull — the null performance protocol that never issues
+ *      transient requests at all: every single miss is resolved by
+ *      the arbiter. Correct, dreadfully slow, exactly as Section 4.1
+ *      promises ("a null or random performance protocol would perform
+ *      poorly but not incorrectly").
+ */
+
+#include <cstdio>
+
+#include "core/tokenb.hh"
+#include "harness/system.hh"
+
+using namespace tokensim;
+
+namespace {
+
+void
+runCase(const char *label, ProtocolKind proto, std::uint64_t ops)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 8;
+    cfg.topology = "torus";
+    cfg.protocol = proto;
+    cfg.workload = "hot";            // every op hits one block
+    cfg.microStoreFraction = 0.9;
+    cfg.opsPerProcessor = ops;
+    cfg.attachAuditor = true;
+    System sys(cfg);
+    sys.run();
+
+    const System::Results r = sys.results();
+    const auto &arb =
+        dynamic_cast<TokenBMemory &>(sys.memory(0)).arbiter();
+    std::printf("%-22s %8llu ops, %7.1f ns/miss, "
+                "reissued %5.1f%%, persistent %5.1f%%, "
+                "arbiter activations %llu\n",
+                label, static_cast<unsigned long long>(r.ops),
+                ticksToNsF(static_cast<Tick>(r.avgMissLatencyTicks)),
+                100.0 *
+                    static_cast<double>(r.missesReissuedOnce +
+                                        r.missesReissuedMore) /
+                    static_cast<double>(r.misses),
+                100.0 * static_cast<double>(r.missesPersistent) /
+                    static_cast<double>(r.misses),
+                static_cast<unsigned long long>(
+                    arb.stats().activations));
+
+    std::string err;
+    if (!sys.auditor()->auditAll(&err)) {
+        std::printf("  TOKEN AUDIT FAILED: %s\n", err.c_str());
+        std::exit(1);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("eight processors, one block, 90%% stores - the "
+                "starvation stress case\n\n");
+    runCase("TokenB", ProtocolKind::tokenB, 2000);
+    runCase("TokenNull (persistent)", ProtocolKind::tokenNull, 100);
+    std::printf("\nevery operation completed in both cases: safety "
+                "from token counting,\nliveness from the "
+                "persistent-request arbiter (FIFO per block)\n");
+    return 0;
+}

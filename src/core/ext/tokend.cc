@@ -1,0 +1,81 @@
+#include "core/ext/tokend.hh"
+
+namespace tokensim {
+
+void
+TokenDCache::issueTransient(Addr addr, const Transaction &trans,
+                            bool reissue)
+{
+    Message msg;
+    msg.type = trans.req.op == MemOp::store ? MsgType::getM
+                                            : MsgType::getS;
+    msg.cls = reissue ? MsgClass::reissue : MsgClass::request;
+    msg.dstUnit = Unit::memory;
+    msg.addr = addr;
+    msg.dest = ctx_.home(addr);
+    msg.requester = id_;
+    if (reissue)
+        ++stats_.reissueMessages;
+    sendAfter(ctx_.ctrlLatency, msg);
+}
+
+const TokenDMemory::SoftState *
+TokenDMemory::softState(Addr addr) const
+{
+    auto it = soft_.find(ctx_.blockAlign(addr));
+    return it == soft_.end() ? nullptr : &it->second;
+}
+
+void
+TokenDMemory::handleTransient(const Message &msg)
+{
+    const Addr ba = msg.addr;
+    const NodeId req = msg.requester;
+    const bool exclusive = msg.type == MsgType::getM;
+
+    // Memory responds from its own tokens exactly like TokenB.
+    TokenBMemory::handleTransient(msg);
+
+    // Soft-state redirection: forward the transient request to every
+    // node predicted to hold tokens. The set must include the actual
+    // owner for reads to succeed without a reissue, and the owner
+    // token can migrate invisibly to the home (a dirty owner answers
+    // a redirected read with everything) — but every owner is a past
+    // requester, so redirecting to the whole remembered set keeps the
+    // common case one-shot. The soft state is still only a hint;
+    // stale entries merely cost a reissue.
+    SoftState &ss = soft_[ba];
+    std::set<NodeId> targets;
+    if (ss.probableOwner != invalidNode && ss.probableOwner != req)
+        targets.insert(ss.probableOwner);
+    for (NodeId s : ss.probableSharers) {
+        if (s != req)
+            targets.insert(s);
+    }
+    for (NodeId t : targets) {
+        Message fwd = msg;
+        fwd.src = id_;
+        fwd.dest = t;
+        fwd.dstUnit = Unit::cache;
+        fwd.isBroadcast = false;
+        sendAfter(ctx_.ctrlLatency, fwd);
+    }
+
+    // Update the prediction: an exclusive requester will soon hold
+    // everything; a shared requester joins the holder set (and may
+    // become the owner through a migratory handoff).
+    if (exclusive) {
+        ss.probableOwner = req;
+        ss.probableSharers.clear();
+    } else {
+        ss.probableSharers.insert(req);
+        if (ss.probableOwner == invalidNode)
+            ss.probableOwner = req;
+        // Soft state, not a full map: bound the remembered set and
+        // let reissues repopulate it after a reset.
+        if (ss.probableSharers.size() > 32)
+            ss.probableSharers.clear();
+    }
+}
+
+} // namespace tokensim

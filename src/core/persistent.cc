@@ -1,0 +1,155 @@
+#include "core/persistent.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace tokensim {
+
+void
+PersistentArbiter::handleMessage(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::persistReq:
+        onRequest(msg);
+        break;
+      case MsgType::persistActAck:
+        onActAck(msg);
+        break;
+      case MsgType::persistDone:
+        onDone(msg);
+        break;
+      case MsgType::persistDeactAck:
+        onDeactAck(msg);
+        break;
+      default:
+        assert(false && "non-arbiter message routed to arbiter");
+    }
+}
+
+void
+PersistentArbiter::onRequest(const Message &msg)
+{
+    ++arbStats_.requestsReceived;
+    BlockArb &b = blocks_[msg.addr];
+
+    // Deduplicate: a requester already queued (or active) for this
+    // block is not enqueued again.
+    if (b.phase != Phase::idle && b.requester == msg.requester)
+        return;
+    if (std::find(b.queue.begin(), b.queue.end(), msg.requester) !=
+        b.queue.end()) {
+        return;
+    }
+
+    b.queue.push_back(msg.requester);
+    arbStats_.maxQueueDepth =
+        std::max<std::uint64_t>(arbStats_.maxQueueDepth, b.queue.size());
+    if (b.phase == Phase::idle)
+        activateNext(msg.addr, b);
+}
+
+void
+PersistentArbiter::activateNext(Addr addr, BlockArb &b)
+{
+    assert(b.phase == Phase::idle);
+    if (b.queue.empty())
+        return;
+    b.requester = b.queue.front();
+    b.queue.pop_front();
+    b.phase = Phase::activating;
+    b.acksPending = ctx_.numNodes;
+    b.doneReceived = false;
+    ++arbStats_.activations;
+    broadcastArb(MsgType::persistActivate, addr, b.requester);
+}
+
+void
+PersistentArbiter::onActAck(const Message &msg)
+{
+    auto it = blocks_.find(msg.addr);
+    assert(it != blocks_.end());
+    BlockArb &b = it->second;
+    assert(b.phase == Phase::activating);
+    assert(b.acksPending > 0);
+    if (--b.acksPending == 0) {
+        b.phase = Phase::active;
+        // The requester may have satisfied its request while the
+        // activation handshake was still completing.
+        if (b.doneReceived)
+            startDeactivation(msg.addr, b);
+    }
+}
+
+void
+PersistentArbiter::onDone(const Message &msg)
+{
+    // A requester that completes several operations on the block
+    // before the deactivation reaches it can emit duplicate dones;
+    // anything not matching the live activation is stale and dropped.
+    // (Per-route FIFO delivery guarantees a stale done cannot arrive
+    // after the same node's next persistent request.)
+    auto it = blocks_.find(msg.addr);
+    if (it == blocks_.end())
+        return;
+    BlockArb &b = it->second;
+    if ((b.phase != Phase::activating && b.phase != Phase::active) ||
+        msg.requester != b.requester) {
+        return;
+    }
+    if (b.phase == Phase::activating) {
+        b.doneReceived = true;   // finish activation acks first
+        return;
+    }
+    startDeactivation(msg.addr, b);
+}
+
+void
+PersistentArbiter::startDeactivation(Addr addr, BlockArb &b)
+{
+    b.phase = Phase::deactivating;
+    b.acksPending = ctx_.numNodes;
+    ++arbStats_.deactivations;
+    broadcastArb(MsgType::persistDeactivate, addr, b.requester);
+}
+
+void
+PersistentArbiter::onDeactAck(const Message &msg)
+{
+    auto it = blocks_.find(msg.addr);
+    assert(it != blocks_.end());
+    BlockArb &b = it->second;
+    assert(b.phase == Phase::deactivating);
+    assert(b.acksPending > 0);
+    if (--b.acksPending == 0) {
+        b.phase = Phase::idle;
+        b.requester = invalidNode;
+        activateNext(msg.addr, b);
+        if (b.phase == Phase::idle && b.queue.empty())
+            blocks_.erase(it);
+    }
+}
+
+void
+PersistentArbiter::broadcastArb(MsgType type, Addr addr, NodeId requester)
+{
+    Message msg;
+    msg.type = type;
+    msg.cls = MsgClass::persistent;
+    msg.dstUnit = Unit::cache;
+    msg.addr = addr;
+    msg.src = id_;
+    msg.requester = requester;
+    ctx_.eq->scheduleIn(ctx_.ctrlLatency, [this, msg]() {
+        if (logging::enabled(logging::Level::debug)) {
+            logging::write(logging::Level::debug, ctx_.now(),
+                           strformat("arbiter.%u", id_),
+                           "broadcast " + msg.toString());
+        }
+        ctx_.net->broadcast(msg);
+    });
+}
+
+} // namespace tokensim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Persistent-request arbiter (Section 3.2, Figure 3c).
+ *
+ * One arbiter lives at each home memory module and serializes
+ * persistent requests for the blocks homed there. The state machine per
+ * block is:
+ *
+ *   Idle --persistReq--> Activating  (broadcast activation; await one
+ *                                     ack from every node)
+ *   Activating --all acks--> Active
+ *   Active --persistDone--> Deactivating (broadcast deactivation;
+ *                                     await acks)
+ *   Deactivating --all acks--> Idle  (activate next queued requester)
+ *
+ * While a request is active every node — including the home memory —
+ * forwards all present and future tokens for the block to the
+ * initiator, which is what makes persistent requests succeed regardless
+ * of races. Activation is fair (FIFO per block), giving starvation
+ * freedom.
+ */
+
+#ifndef TOKENSIM_CORE_PERSISTENT_HH
+#define TOKENSIM_CORE_PERSISTENT_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/message.hh"
+#include "proto/context.hh"
+#include "sim/types.hh"
+
+namespace tokensim {
+
+/** Arbiter statistics (exposed for tests and the reissue benches). */
+struct ArbiterStats
+{
+    std::uint64_t requestsReceived = 0;
+    std::uint64_t activations = 0;
+    std::uint64_t deactivations = 0;
+    std::uint64_t maxQueueDepth = 0;
+};
+
+/**
+ * The per-home persistent-request arbiter. It is driven by the four
+ * persistent message types its owning memory controller routes to it
+ * and sends its own messages directly through the network.
+ */
+class PersistentArbiter
+{
+  public:
+    /**
+     * @param ctx shared protocol context.
+     * @param id the home node this arbiter lives at.
+     */
+    PersistentArbiter(ProtoContext &ctx, NodeId id)
+        : ctx_(ctx), id_(id)
+    {}
+
+    /** Route one arbiter-bound message (persistReq, persistActAck,
+     *  persistDone, persistDeactAck). */
+    void handleMessage(const Message &msg);
+
+    const ArbiterStats &stats() const { return arbStats_; }
+
+    /** Requester whose persistent request is active for @p addr, or
+     *  invalidNode. */
+    NodeId
+    activeRequester(Addr addr) const
+    {
+        auto it = blocks_.find(addr);
+        if (it == blocks_.end())
+            return invalidNode;
+        const BlockArb &b = it->second;
+        return b.phase == Phase::idle ? invalidNode : b.requester;
+    }
+
+    /** True if no block has persistent activity (for test teardown). */
+    bool
+    quiescent() const
+    {
+        for (const auto &[addr, b] : blocks_) {
+            if (b.phase != Phase::idle || !b.queue.empty())
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        idle,
+        activating,
+        active,
+        deactivating,
+    };
+
+    struct BlockArb
+    {
+        Phase phase = Phase::idle;
+        NodeId requester = invalidNode;
+        int acksPending = 0;
+        bool doneReceived = false;
+        std::deque<NodeId> queue;
+    };
+
+    void onRequest(const Message &msg);
+    void onActAck(const Message &msg);
+    void onDone(const Message &msg);
+    void onDeactAck(const Message &msg);
+
+    /** Start activation of the queue head for @p addr. */
+    void activateNext(Addr addr, BlockArb &b);
+
+    /** Begin the deactivation handshake. */
+    void startDeactivation(Addr addr, BlockArb &b);
+
+    void broadcastArb(MsgType type, Addr addr, NodeId requester);
+
+    ProtoContext &ctx_;
+    NodeId id_;
+    std::unordered_map<Addr, BlockArb> blocks_;
+    ArbiterStats arbStats_;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_CORE_PERSISTENT_HH

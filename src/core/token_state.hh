@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Token-counting state of the correctness substrate (Section 3.1).
+ *
+ * Each block of shared memory has a fixed number of tokens T (at least
+ * the number of processors), one of which is the distinguished *owner*
+ * token. The optimized invariants of Section 3.1 are:
+ *
+ *   #1' At all times, each block has T tokens in the system, one of
+ *       which is the owner token.
+ *   #2' A processor can write a block only if it holds all T tokens and
+ *       has valid data.
+ *   #3' A processor can read a block only if it holds at least one
+ *       token and has valid data.
+ *   #4' If a coherence message contains the owner token, it must
+ *       contain data.
+ *
+ * TokenCount is the holding of one component (a cache line, a memory
+ * block, or a message in flight); tokensim::TokenCoding reproduces the
+ * paper's 2+ceil(log2 T)-bit storage encoding (valid bit, owner bit,
+ * non-owner token count) used for cache tags and memory ECC storage.
+ */
+
+#ifndef TOKENSIM_CORE_TOKEN_STATE_HH
+#define TOKENSIM_CORE_TOKEN_STATE_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tokensim {
+
+/** MOESI-equivalent names for token holdings (for reporting/tests). */
+enum class TokenMoesi : std::uint8_t
+{
+    invalid,   ///< no tokens
+    shared,    ///< >=1 token, no owner token
+    owned,     ///< owner token but not all tokens
+    modified,  ///< all T tokens
+};
+
+/**
+ * One component's holding of a block's tokens.
+ *
+ * @c count is the total number of tokens held, including the owner
+ * token when @c owner is set. @c valid is the data-valid bit that
+ * invariant #3' adds: components may hold non-owner tokens without
+ * valid data (e.g., after receiving a dataless token message).
+ */
+struct TokenCount
+{
+    int count = 0;
+    bool owner = false;
+    bool valid = false;
+
+    /** Holding with all T tokens, owner, and valid data (initial
+     *  state of a block's home memory). */
+    static TokenCount
+    all(int t)
+    {
+        return TokenCount{t, true, true};
+    }
+
+    bool
+    sane(int t) const
+    {
+        if (count < 0 || count > t)
+            return false;
+        if (owner && count < 1)
+            return false;
+        if (valid && count < 1)
+            return false;   // valid data requires >=1 token
+        return true;
+    }
+
+    /** Can this holder read the block (invariant #3')? */
+    bool canRead() const { return count >= 1 && valid; }
+
+    /** Can this holder write the block (invariant #2')? */
+    bool canWrite(int t) const { return count == t && valid; }
+
+    /** MOESI-equivalent state name. */
+    TokenMoesi
+    moesi(int t) const
+    {
+        if (count == 0)
+            return TokenMoesi::invalid;
+        if (count == t)
+            return TokenMoesi::modified;
+        return owner ? TokenMoesi::owned : TokenMoesi::shared;
+    }
+
+    /**
+     * Absorb tokens arriving in a message. @p with_data indicates the
+     * message carried the data block; receiving data with at least one
+     * token sets the valid bit (Section 3.1).
+     */
+    void
+    absorb(int n, bool owner_token, bool with_data)
+    {
+        assert(n >= 0);
+        assert(!owner_token || n >= 1);
+        count += n;
+        if (owner_token) {
+            assert(!owner && "owner token duplicated");
+            owner = true;
+        }
+        if (with_data && n >= 1)
+            valid = true;
+    }
+
+    /**
+     * Give up @p n tokens (@p owner_token says whether the owner token
+     * is among them). Clears the valid bit when no tokens remain.
+     */
+    void
+    release(int n, bool owner_token)
+    {
+        assert(n >= 1 && n <= count);
+        assert(!owner_token || owner);
+        // Releasing the owner token while keeping others is legal at
+        // the substrate level; performance protocols decide policy.
+        count -= n;
+        if (owner_token)
+            owner = false;
+        if (count == 0)
+            valid = false;
+        assert(!owner || count >= 1);
+    }
+};
+
+/**
+ * The paper's storage encoding: tokens can be stored in
+ * 2 + ceil(log2(T)) bits — a data-valid bit, an owner-token bit, and a
+ * count of non-owner tokens in [0, T-1]. (For example, 64 tokens with
+ * 64-byte blocks adds one byte of storage: 1.6% overhead.)
+ */
+class TokenCoding
+{
+  public:
+    explicit TokenCoding(int t) : t_(t)
+    {
+        assert(t >= 1);
+        int bits = 0;
+        while ((1 << bits) < t)
+            ++bits;
+        countBits_ = bits;
+    }
+
+    /** Total tokens per block. */
+    int tokensPerBlock() const { return t_; }
+
+    /** Bits of storage per block: valid + owner + non-owner count. */
+    int bits() const { return 2 + countBits_; }
+
+    /** Storage overhead for a block of @p block_bytes bytes. */
+    double
+    overhead(int block_bytes) const
+    {
+        return static_cast<double>(bits()) /
+               static_cast<double>(block_bytes * 8);
+    }
+
+    /** Pack a holding into its storage representation. */
+    std::uint32_t
+    encode(const TokenCount &tc) const
+    {
+        assert(tc.sane(t_));
+        const int non_owner = tc.count - (tc.owner ? 1 : 0);
+        assert(non_owner >= 0 && non_owner <= t_ - 1);
+        return (static_cast<std::uint32_t>(tc.valid) << (countBits_ + 1)) |
+               (static_cast<std::uint32_t>(tc.owner) << countBits_) |
+               static_cast<std::uint32_t>(non_owner);
+    }
+
+    /** Unpack a storage representation. */
+    TokenCount
+    decode(std::uint32_t bits) const
+    {
+        TokenCount tc;
+        const std::uint32_t count_mask =
+            (1u << countBits_) - 1u;
+        const int non_owner = static_cast<int>(bits & count_mask);
+        tc.owner = (bits >> countBits_) & 1u;
+        tc.valid = (bits >> (countBits_ + 1)) & 1u;
+        tc.count = non_owner + (tc.owner ? 1 : 0);
+        return tc;
+    }
+
+  private:
+    int t_;
+    int countBits_;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_CORE_TOKEN_STATE_HH

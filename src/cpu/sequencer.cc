@@ -1,0 +1,162 @@
+#include "cpu/sequencer.hh"
+
+#include <cassert>
+
+namespace tokensim {
+
+Sequencer::Sequencer(ProtoContext &ctx, NodeId id,
+                     CacheController *cache,
+                     std::unique_ptr<Workload> workload,
+                     const SequencerParams &params,
+                     std::uint64_t op_budget, std::uint64_t seed)
+    : ctx_(ctx),
+      id_(id),
+      cache_(cache),
+      workload_(std::move(workload)),
+      params_(params),
+      opBudget_(op_budget),
+      rng_(seed),
+      l1_(params.l1)
+{
+    cache_->setCompletionCallback(
+        [this](const ProcResponse &resp) { onComplete(resp); });
+    cache_->setLineRemovedCallback(
+        [this](Addr addr) { onLineRemoved(addr); });
+}
+
+void
+Sequencer::start()
+{
+    wakeIssuer(ctx_.now() + 1);
+}
+
+void
+Sequencer::wakeIssuer(Tick when)
+{
+    if (issueScheduled_)
+        return;
+    issueScheduled_ = true;
+    ctx_.eq->schedule(when, [this]() {
+        issueScheduled_ = false;
+        tryIssue();
+    });
+}
+
+void
+Sequencer::tryIssue()
+{
+    while (outstanding_ < params_.maxOutstanding &&
+           issuedCtl_ < opBudget_) {
+        // Think time paces issues: non-memory work between ops.
+        if (ctx_.now() < nextIssueAllowed_) {
+            wakeIssuer(nextIssueAllowed_);
+            return;
+        }
+
+        WorkloadOp wop;
+        if (stalled_) {
+            wop = stalledOp_;
+            stalled_ = false;
+        } else {
+            wop = workload_->next();
+        }
+
+        const Addr ba = ctx_.blockAlign(wop.addr);
+        if (busyBlocks_.count(ba)) {
+            // Same-block conflict: hold this op until the in-flight
+            // one completes (the protocols rely on one outstanding
+            // operation per block per processor).
+            stalled_ = true;
+            stalledOp_ = wop;
+            return;   // a completion will wake us
+        }
+
+        ++issuedCtl_;
+        ++stats_.opsIssued;
+        if (wop.endsTransaction)
+            ++stats_.transactions;
+        const Tick think = std::max<Tick>(
+            1, rng_.geometric(
+                   1.0 / static_cast<double>(params_.thinkMean)));
+        nextIssueAllowed_ = ctx_.now() + think;
+
+        // L1 filter: loads that hit complete locally at L1 latency.
+        if (params_.l1Enabled && wop.op == MemOp::load) {
+            if (l1_.touch(ba)) {
+                ++stats_.l1Hits;
+                ++outstanding_;
+                busyBlocks_.insert(ba);
+                ctx_.eq->scheduleIn(params_.l1.latency, [this, ba]() {
+                    busyBlocks_.erase(ba);
+                    --outstanding_;
+                    ++completedCtl_;
+                    ++stats_.opsCompleted;
+                    stats_.opLatency.add(
+                        static_cast<double>(params_.l1.latency));
+                    wakeIssuer(ctx_.now() + 1);
+                });
+                continue;
+            }
+        }
+
+        // Stores write through; load misses go to the L2 controller.
+        ++stats_.l2Accesses;
+        ++outstanding_;
+        busyBlocks_.insert(ba);
+        ProcRequest req;
+        req.op = wop.op;
+        req.addr = wop.addr;
+        req.reqId = nextReqId_++;
+        if (wop.op == MemOp::store) {
+            // The modeled store value: unique per (node, request).
+            req.storeValue =
+                (std::uint64_t{id_} << 48) ^ req.reqId;
+        }
+        if (issueObserver_)
+            issueObserver_(id_, req);
+        cache_->request(req);
+    }
+}
+
+void
+Sequencer::onComplete(const ProcResponse &resp)
+{
+    const Addr ba = ctx_.blockAlign(resp.addr);
+    assert(busyBlocks_.count(ba));
+    busyBlocks_.erase(ba);
+    --outstanding_;
+    ++completedCtl_;
+    ++stats_.opsCompleted;
+    stats_.opLatency.add(
+        static_cast<double>(resp.completedAt - resp.issuedAt));
+    if (observer_)
+        observer_(id_, resp);
+
+    if (params_.l1Enabled) {
+        // Fill/refresh the L1 copy (inclusive with the L2).
+        if (resp.op == MemOp::load) {
+            L1Line *line = l1_.find(ba);
+            if (!line) {
+                CacheArray<L1Line>::Victim victim;
+                line = l1_.allocate(ba, &victim);
+                // L1 victims need no action: the L2 is inclusive.
+            }
+            line->data = resp.value;
+        } else if (L1Line *line = l1_.find(ba)) {
+            line->data = resp.value;
+        }
+    }
+
+    wakeIssuer(ctx_.now() + 1);
+}
+
+void
+Sequencer::onLineRemoved(Addr addr)
+{
+    if (!params_.l1Enabled)
+        return;
+    if (l1_.find(addr))
+        l1_.invalidate(addr);
+}
+
+} // namespace tokensim

@@ -1,0 +1,73 @@
+#include "harness/experiment.hh"
+
+namespace tokensim {
+
+ExperimentResult
+runExperiment(SystemConfig cfg, int seeds, const std::string &label)
+{
+    ExperimentResult out;
+    out.label = label;
+
+    RunningStat cpt;
+    std::uint64_t total_misses = 0;
+    std::uint64_t total_c2c = 0;
+    std::uint64_t total_l2_accesses = 0;
+    std::uint64_t byte_links[numMsgClasses] = {};
+    std::uint64_t total_byte_links = 0;
+    std::uint64_t not_reissued = 0, once = 0, more = 0, persistent = 0;
+    RunningStat miss_lat;
+
+    const std::uint64_t base_seed = cfg.seed;
+    for (int s = 0; s < seeds; ++s) {
+        cfg.seed = base_seed + static_cast<std::uint64_t>(s);
+        System sys(cfg);
+        sys.run();
+        const System::Results r = sys.results();
+
+        cpt.add(r.cyclesPerTransaction());
+        total_misses += r.misses;
+        total_c2c += r.cacheToCache;
+        total_l2_accesses += r.l2Accesses;
+        for (std::size_t c = 0; c < numMsgClasses; ++c) {
+            byte_links[c] += r.traffic.byClass[c].byteLinks;
+            total_byte_links += r.traffic.byClass[c].byteLinks;
+        }
+        not_reissued += r.missesNotReissued;
+        once += r.missesReissuedOnce;
+        more += r.missesReissuedMore;
+        persistent += r.missesPersistent;
+        out.ops += r.ops;
+        if (r.avgMissLatencyTicks > 0)
+            miss_lat.add(r.avgMissLatencyTicks);
+    }
+
+    out.cyclesPerTransaction = cpt.mean();
+    out.cyclesPerTransactionStddev = cpt.stddev();
+    out.misses = total_misses;
+    if (total_misses) {
+        out.bytesPerMiss = static_cast<double>(total_byte_links) /
+            static_cast<double>(total_misses);
+        for (std::size_t c = 0; c < numMsgClasses; ++c) {
+            out.bytesPerMissByClass[c] =
+                static_cast<double>(byte_links[c]) /
+                static_cast<double>(total_misses);
+        }
+        out.cacheToCacheFrac = static_cast<double>(total_c2c) /
+            static_cast<double>(total_misses);
+
+        const double denom = static_cast<double>(total_misses);
+        out.pctNotReissued = 100.0 * static_cast<double>(not_reissued) / denom;
+        out.pctReissuedOnce = 100.0 * static_cast<double>(once) / denom;
+        out.pctReissuedMore = 100.0 * static_cast<double>(more) / denom;
+        out.pctPersistent = 100.0 * static_cast<double>(persistent) / denom;
+    }
+    if (total_l2_accesses) {
+        out.missRate = static_cast<double>(total_misses) /
+            static_cast<double>(total_l2_accesses);
+    }
+    out.avgMissLatencyNs = ticksToNsF(
+        static_cast<Tick>(miss_lat.mean()));
+    return out;
+}
+
+} // namespace tokensim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Experiment runner: executes a SystemConfig across multiple seeds
+ * (the paper perturbs each design point and reports error bars) and
+ * aggregates the metrics the figures use.
+ */
+
+#ifndef TOKENSIM_HARNESS_EXPERIMENT_HH
+#define TOKENSIM_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/system.hh"
+
+namespace tokensim {
+
+/** Aggregated metrics for one design point. */
+struct ExperimentResult
+{
+    std::string label;
+
+    double cyclesPerTransaction = 0;
+    double cyclesPerTransactionStddev = 0;
+    double bytesPerMiss = 0;
+    double bytesPerMissByClass[numMsgClasses] = {};
+
+    std::uint64_t ops = 0;
+    std::uint64_t misses = 0;
+    double missRate = 0;            ///< misses / L2 accesses
+    double cacheToCacheFrac = 0;    ///< of completed misses
+    double avgMissLatencyNs = 0;
+
+    // Token Coherence reissue percentages (Table 2).
+    double pctNotReissued = 0;
+    double pctReissuedOnce = 0;
+    double pctReissuedMore = 0;
+    double pctPersistent = 0;
+};
+
+/**
+ * Run @p cfg once per seed in [cfg.seed, cfg.seed + seeds) and
+ * average. Traffic and miss statistics are summed before normalizing;
+ * runtime variability feeds the stddev (the paper's error bars).
+ */
+ExperimentResult runExperiment(SystemConfig cfg, int seeds = 3,
+                               const std::string &label = "");
+
+} // namespace tokensim
+
+#endif // TOKENSIM_HARNESS_EXPERIMENT_HH

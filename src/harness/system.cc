@@ -1,0 +1,247 @@
+#include "harness/system.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/ext/tokena.hh"
+#include "core/ext/tokend.hh"
+#include "core/ext/tokenm.hh"
+#include "core/tokenb.hh"
+#include "proto/directory/directory.hh"
+#include "proto/hammer/hammer.hh"
+#include "proto/snooping/snooping.hh"
+
+namespace tokensim {
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.numNodes < 1)
+        throw std::invalid_argument("system needs at least one node");
+
+    std::unique_ptr<Topology> topo(
+        makeTopology(cfg_.topology, cfg_.numNodes));
+    if (cfg_.protocol == ProtocolKind::snooping &&
+        !topo->totallyOrdered()) {
+        // Figure 4a's "not applicable": traditional snooping cannot
+        // run on an interconnect that provides no total order.
+        throw std::invalid_argument(
+            "snooping requires a totally-ordered interconnect; " +
+            topo->name() + " provides none");
+    }
+    net_ = std::make_unique<Network>(eq_, std::move(topo), cfg_.net);
+
+    ctx_.eq = &eq_;
+    ctx_.net = net_.get();
+    ctx_.numNodes = cfg_.numNodes;
+    ctx_.blockBytes = cfg_.blockBytes;
+    ctx_.ctrlLatency = cfg_.ctrlLatency;
+    ctx_.l2 = cfg_.l2;
+    ctx_.dram = cfg_.dram;
+
+    if (cfg_.attachAuditor && isTokenProtocol(cfg_.protocol)) {
+        const int t = cfg_.proto.tokensPerBlock > 0
+            ? cfg_.proto.tokensPerBlock : cfg_.numNodes;
+        auditor_ = std::make_unique<TokenAuditor>(t, cfg_.blockBytes);
+    }
+
+    addrMap_.blockBytes = cfg_.blockBytes;
+
+    Rng seeder(cfg_.seed);
+    for (int i = 0; i < cfg_.numNodes; ++i) {
+        const auto id = static_cast<NodeId>(i);
+        buildControllers(id, seeder.next());
+        nodes_.push_back(std::make_unique<Node>(
+            ctx_, id, caches_[i].get(), memories_[i].get()));
+        net_->attach(id, nodes_[i].get());
+    }
+    for (int i = 0; i < cfg_.numNodes; ++i) {
+        const auto id = static_cast<NodeId>(i);
+        sequencers_.push_back(std::make_unique<Sequencer>(
+            ctx_, id, caches_[i].get(),
+            makeWorkload(id, seeder.next()), cfg_.seq,
+            cfg_.opsPerProcessor + cfg_.warmupOpsPerProcessor,
+            seeder.next()));
+    }
+}
+
+System::~System() = default;
+
+void
+System::buildControllers(NodeId id, std::uint64_t seed)
+{
+    ProtocolParams p = cfg_.proto;
+    TokenAuditor *aud = auditor_.get();
+
+    switch (cfg_.protocol) {
+      case ProtocolKind::snooping:
+        caches_.push_back(std::make_unique<SnoopCache>(ctx_, id, p));
+        memories_.push_back(std::make_unique<SnoopMemory>(ctx_, id, p));
+        break;
+      case ProtocolKind::directory:
+        caches_.push_back(std::make_unique<DirCache>(ctx_, id, p));
+        memories_.push_back(std::make_unique<DirMemory>(ctx_, id, p));
+        break;
+      case ProtocolKind::hammer:
+        caches_.push_back(std::make_unique<HammerCache>(ctx_, id, p));
+        memories_.push_back(
+            std::make_unique<HammerMemory>(ctx_, id, p));
+        break;
+      case ProtocolKind::tokenB:
+        caches_.push_back(
+            std::make_unique<TokenBCache>(ctx_, id, p, aud, seed));
+        memories_.push_back(
+            std::make_unique<TokenBMemory>(ctx_, id, p, aud));
+        break;
+      case ProtocolKind::tokenD:
+        caches_.push_back(
+            std::make_unique<TokenDCache>(ctx_, id, p, aud, seed));
+        memories_.push_back(
+            std::make_unique<TokenDMemory>(ctx_, id, p, aud));
+        break;
+      case ProtocolKind::tokenM:
+        caches_.push_back(
+            std::make_unique<TokenMCache>(ctx_, id, p, aud, seed));
+        memories_.push_back(
+            std::make_unique<TokenBMemory>(ctx_, id, p, aud));
+        break;
+      case ProtocolKind::tokenA:
+        // Adaptive issue policy over TokenD's soft-state home.
+        caches_.push_back(
+            std::make_unique<TokenACache>(ctx_, id, p, aud, seed));
+        memories_.push_back(
+            std::make_unique<TokenDMemory>(ctx_, id, p, aud));
+        break;
+      case ProtocolKind::tokenNull:
+        // The null performance protocol relies entirely on persistent
+        // requests; pointless reissue timeouts are skipped.
+        p.maxReissues = 0;
+        caches_.push_back(
+            std::make_unique<TokenNullCache>(ctx_, id, p, aud, seed));
+        memories_.push_back(
+            std::make_unique<TokenBMemory>(ctx_, id, p, aud));
+        break;
+    }
+
+    if (aud) {
+        aud->addHolder(
+            dynamic_cast<const TokenHolder *>(caches_.back().get()));
+        aud->addHolder(
+            dynamic_cast<const TokenHolder *>(memories_.back().get()));
+    }
+}
+
+std::unique_ptr<Workload>
+System::makeWorkload(NodeId node, std::uint64_t seed)
+{
+    if (cfg_.workloadFactory)
+        return cfg_.workloadFactory(node, cfg_.numNodes, seed);
+
+    if (cfg_.workload == "uniform") {
+        return std::make_unique<UniformSharedWorkload>(
+            cfg_.uniformBlocks, cfg_.microStoreFraction,
+            cfg_.blockBytes, seed);
+    }
+    if (cfg_.workload == "hot") {
+        return std::make_unique<HotBlockWorkload>(
+            0, cfg_.microStoreFraction, seed);
+    }
+    if (cfg_.workload == "private") {
+        return std::make_unique<PrivateWorkload>(
+            node, addrMap_, 1 << 15, cfg_.microStoreFraction, seed);
+    }
+    return std::make_unique<CommercialWorkload>(
+        node, cfg_.numNodes, addrMap_,
+        CommercialParams::preset(cfg_.workload), seed);
+}
+
+bool
+System::allDone() const
+{
+    for (const auto &s : sequencers_) {
+        if (!s->done())
+            return false;
+    }
+    return true;
+}
+
+void
+System::resetStats()
+{
+    net_->clearTraffic();
+    for (auto &c : caches_)
+        c->stats() = CacheCtrlStats{};
+    for (auto &s : sequencers_)
+        s->resetStats();
+    measureStart_ = eq_.curTick();
+}
+
+void
+System::run()
+{
+    for (auto &s : sequencers_)
+        s->start();
+
+    if (cfg_.warmupOpsPerProcessor > 0) {
+        const std::uint64_t warm = cfg_.warmupOpsPerProcessor;
+        const bool warmed = eq_.runUntil(
+            [this, warm]() {
+                for (const auto &s : sequencers_) {
+                    if (s->completedOps() < warm)
+                        return false;
+                }
+                return true;
+            },
+            cfg_.maxTicks);
+        if (!warmed) {
+            throw std::runtime_error(
+                "simulation exceeded maxTicks during warmup");
+        }
+        resetStats();
+    }
+
+    const bool finished = eq_.runUntil(
+        [this]() { return allDone(); }, cfg_.maxTicks);
+    if (!finished) {
+        throw std::runtime_error(
+            "simulation exceeded maxTicks before completing - "
+            "possible protocol deadlock or starvation");
+    }
+    // Drain all in-flight protocol activity (evictions, persistent
+    // deactivation handshakes, late token redirects).
+    if (!eq_.run(cfg_.maxTicks)) {
+        throw std::runtime_error(
+            "simulation failed to drain before maxTicks");
+    }
+}
+
+System::Results
+System::results() const
+{
+    Results r;
+    r.runtimeTicks = eq_.curTick() - measureStart_;
+    RunningStat miss_lat;
+    for (int i = 0; i < cfg_.numNodes; ++i) {
+        const SequencerStats &ss = sequencers_[i]->stats();
+        r.ops += ss.opsCompleted;
+        r.transactions += ss.transactions;
+        r.l1Hits += ss.l1Hits;
+        r.l2Accesses += ss.l2Accesses;
+
+        const CacheCtrlStats &cs = caches_[i]->stats();
+        r.l2Hits += cs.hits;
+        r.misses += cs.missesCompleted;
+        r.cacheToCache += cs.cacheToCache;
+        r.missesNotReissued += cs.missesNotReissued;
+        r.missesReissuedOnce += cs.missesReissuedOnce;
+        r.missesReissuedMore += cs.missesReissuedMore;
+        r.missesPersistent += cs.missesPersistent;
+        if (cs.missLatency.count())
+            miss_lat.add(cs.missLatency.mean());
+    }
+    r.avgMissLatencyTicks = miss_lat.mean();
+    r.traffic = net_->traffic();
+    return r;
+}
+
+} // namespace tokensim

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * System builder: wires an entire simulated multiprocessor — event
+ * queue, network, per-node cache/memory controllers for the chosen
+ * protocol, sequencers, and workloads — from one SystemConfig.
+ *
+ * This is the library's top-level entry point: examples, tests, and
+ * benches construct a System, run it, and read the aggregated results.
+ */
+
+#ifndef TOKENSIM_HARNESS_SYSTEM_HH
+#define TOKENSIM_HARNESS_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/substrate.hh"
+#include "cpu/sequencer.hh"
+#include "net/network.hh"
+#include "proto/controller.hh"
+#include "proto/context.hh"
+#include "proto/types.hh"
+#include "sim/event_queue.hh"
+#include "workload/commercial.hh"
+#include "workload/workload.hh"
+
+namespace tokensim {
+
+/** Everything needed to build one simulated system (Table 1 defaults). */
+struct SystemConfig
+{
+    int numNodes = 16;
+
+    /** "tree" (totally ordered) or "torus" (unordered). */
+    std::string topology = "torus";
+
+    ProtocolKind protocol = ProtocolKind::tokenB;
+    ProtocolParams proto;
+
+    NetworkParams net;
+    SequencerParams seq;
+
+    /** L2 geometry (Table 1: 4 MB, 4-way, 64 B, 6 ns). */
+    CacheParams l2{4 * 1024 * 1024, 4, 64, nsToTicks(6)};
+
+    /** DRAM (Table 1: 80 ns). */
+    DramParams dram{};
+
+    /** Controller processing latency (Table 1: 6 ns). */
+    Tick ctrlLatency = nsToTicks(6);
+
+    std::uint32_t blockBytes = 64;
+
+    /**
+     * Workload: a preset name — "oltp", "apache", "specjbb",
+     * "uniform", "hot", "private" — unless workloadFactory is set.
+     */
+    std::string workload = "oltp";
+
+    /** Custom per-node workload factory (overrides `workload`). */
+    std::function<std::unique_ptr<Workload>(NodeId, int,
+                                            std::uint64_t seed)>
+        workloadFactory;
+
+    /** Hot-set size for the "uniform" micro workload. */
+    std::uint64_t uniformBlocks = 512;
+
+    /** Store fraction for the micro workloads. */
+    double microStoreFraction = 0.3;
+
+    /** Operations each processor executes (measured window). */
+    std::uint64_t opsPerProcessor = 20000;
+
+    /**
+     * Operations each processor executes before statistics are
+     * zeroed (the paper warms caches from checkpoints; this is the
+     * simulator's equivalent).
+     */
+    std::uint64_t warmupOpsPerProcessor = 0;
+
+    std::uint64_t seed = 1;
+
+    /** Attach the token-conservation auditor (token protocols). */
+    bool attachAuditor = false;
+
+    /** Abort if simulated time passes this bound (deadlock guard). */
+    Tick maxTicks = nsToTicks(2'000'000'000ULL);   // 2 s simulated
+};
+
+/**
+ * One node's delivery endpoint: dispatches network messages to the
+ * node's cache controller and — for the blocks homed here — its
+ * memory controller.
+ */
+class Node : public NetworkEndpoint
+{
+  public:
+    Node(ProtoContext &ctx, NodeId id, CacheController *cache,
+         MemoryController *memory)
+        : ctx_(ctx), id_(id), cache_(cache), memory_(memory)
+    {}
+
+    void
+    deliver(const Message &msg) override
+    {
+        if (msg.isBroadcast) {
+            // Broadcasts snoop the cache controller; the home memory
+            // observes them too.
+            cache_->handleMessage(msg);
+            if (ctx_.home(msg.addr) == id_)
+                memory_->handleMessage(msg);
+            return;
+        }
+        switch (msg.dstUnit) {
+          case Unit::cache:
+            cache_->handleMessage(msg);
+            break;
+          case Unit::memory:
+          case Unit::arbiter:
+            memory_->handleMessage(msg);
+            break;
+        }
+    }
+
+  private:
+    ProtoContext &ctx_;
+    NodeId id_;
+    CacheController *cache_;
+    MemoryController *memory_;
+};
+
+/** A fully wired simulated multiprocessor. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Run to completion: all sequencers retire their budget, then the
+     * system drains (all in-flight protocol activity settles).
+     * @throws std::runtime_error if maxTicks passes first.
+     */
+    void run();
+
+    /** Run at most until @p tick (for incremental test control). */
+    void runUntilTick(Tick tick) { eq_.run(tick); }
+
+    EventQueue &eq() { return eq_; }
+    Network &net() { return *net_; }
+    ProtoContext &ctx() { return ctx_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    CacheController &cache(NodeId id) { return *caches_[id]; }
+    MemoryController &memory(NodeId id) { return *memories_[id]; }
+    Sequencer &sequencer(NodeId id) { return *sequencers_[id]; }
+    int numNodes() const { return cfg_.numNodes; }
+
+    /** The conservation auditor, if attachAuditor was set. */
+    TokenAuditor *auditor() { return auditor_.get(); }
+
+    /** All sequencers retired their budgets. */
+    bool allDone() const;
+
+    /** Zero all reported statistics (measurement boundary). */
+    void resetStats();
+
+    /** Aggregated results of a completed run. */
+    struct Results
+    {
+        Tick runtimeTicks = 0;
+        std::uint64_t ops = 0;
+        std::uint64_t transactions = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t cacheToCache = 0;
+        double avgMissLatencyTicks = 0;
+
+        // Token Coherence reissue buckets (Table 2).
+        std::uint64_t missesNotReissued = 0;
+        std::uint64_t missesReissuedOnce = 0;
+        std::uint64_t missesReissuedMore = 0;
+        std::uint64_t missesPersistent = 0;
+
+        TrafficStats traffic;
+
+        /** Cycles (1 GHz => ns) per transaction. */
+        double
+        cyclesPerTransaction() const
+        {
+            return transactions
+                ? ticksToNsF(runtimeTicks) /
+                      static_cast<double>(transactions)
+                : 0.0;
+        }
+
+        /** Interconnect bytes (x links crossed) per L2 miss. */
+        double
+        bytesPerMiss() const
+        {
+            return misses
+                ? static_cast<double>(traffic.totalByteLinks()) /
+                      static_cast<double>(misses)
+                : 0.0;
+        }
+
+        double
+        bytesPerMissOf(MsgClass c) const
+        {
+            return misses
+                ? static_cast<double>(traffic.byteLinksOf(c)) /
+                      static_cast<double>(misses)
+                : 0.0;
+        }
+    };
+
+    Results results() const;
+
+  private:
+    std::unique_ptr<Workload> makeWorkload(NodeId node,
+                                           std::uint64_t seed);
+    void buildControllers(NodeId id, std::uint64_t seed);
+
+    SystemConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<Network> net_;
+    ProtoContext ctx_;
+    std::unique_ptr<TokenAuditor> auditor_;
+    AddressMap addrMap_;
+    std::vector<std::unique_ptr<CacheController>> caches_;
+    std::vector<std::unique_ptr<MemoryController>> memories_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<Sequencer>> sequencers_;
+    Tick measureStart_ = 0;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_HARNESS_SYSTEM_HH

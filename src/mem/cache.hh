@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Set-associative cache array with LRU replacement.
+ *
+ * The array is protocol-agnostic: each protocol derives its line type
+ * from CacheLineBase and stores its own coherence state (MOSI state bits
+ * for the classical protocols, token counts for Token Coherence — the
+ * paper notes tokens are held "in processor caches (e.g., part of tag
+ * state)"). Replacement victims are returned to the caller, which must
+ * take protocol action (write back data, return tokens to the home).
+ */
+
+#ifndef TOKENSIM_MEM_CACHE_HH
+#define TOKENSIM_MEM_CACHE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tokensim {
+
+/** Geometry and latency of one cache level (Table 1). */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 4 * 1024 * 1024;   ///< capacity
+    std::uint32_t assoc = 4;                     ///< ways per set
+    std::uint32_t blockBytes = 64;               ///< line size
+    Tick latency = nsToTicks(6);                 ///< access latency
+
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(assoc) *
+                            blockBytes);
+    }
+};
+
+/** Common bookkeeping every cache line carries. */
+struct CacheLineBase
+{
+    Addr addr = 0;            ///< block-aligned address
+    bool valid = false;       ///< tag valid (the line is allocated)
+    std::uint64_t lru = 0;    ///< last-use stamp for replacement
+};
+
+/**
+ * A set-associative array of @p Line (derived from CacheLineBase),
+ * with true-LRU replacement inside each set.
+ */
+template <typename Line>
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheParams &params)
+        : params_(params),
+          numSets_(params.numSets()),
+          lines_(numSets_ * params.assoc)
+    {
+        assert(isPowerOf2(params.blockBytes));
+        assert(numSets_ > 0 && isPowerOf2(numSets_));
+    }
+
+    const CacheParams &params() const { return params_; }
+
+    /** Block-align an address. */
+    Addr
+    blockAlign(Addr a) const
+    {
+        return a & ~static_cast<Addr>(params_.blockBytes - 1);
+    }
+
+    /** Find a line without touching LRU state; nullptr if absent. */
+    Line *
+    find(Addr a)
+    {
+        const Addr ba = blockAlign(a);
+        Line *set = setFor(ba);
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            if (set[w].valid && set[w].addr == ba)
+                return &set[w];
+        }
+        return nullptr;
+    }
+
+    const Line *
+    find(Addr a) const
+    {
+        return const_cast<CacheArray *>(this)->find(a);
+    }
+
+    /** Find a line and mark it most-recently used. */
+    Line *
+    touch(Addr a)
+    {
+        Line *l = find(a);
+        if (l)
+            l->lru = ++useCounter_;
+        return l;
+    }
+
+    /** True if the block is present. */
+    bool contains(Addr a) const { return find(a) != nullptr; }
+
+    /** Replacement victim information from allocate(). */
+    struct Victim
+    {
+        bool valid = false;   ///< true if a line was evicted
+        Line line;            ///< copy of the evicted line
+    };
+
+    /**
+     * Allocate a line for block @p a (which must not be present).
+     * If the set is full, the LRU way is evicted and a copy returned
+     * through @p victim so the caller can perform protocol actions
+     * (write back dirty data, send tokens home). The returned line is
+     * default-initialized with addr/valid/lru set.
+     */
+    Line *
+    allocate(Addr a, Victim *victim)
+    {
+        const Addr ba = blockAlign(a);
+        assert(!find(ba) && "allocate of a block already present");
+        Line *set = setFor(ba);
+        Line *way = nullptr;
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            if (!set[w].valid) {
+                way = &set[w];
+                break;
+            }
+        }
+        if (!way) {
+            way = &set[0];
+            for (std::uint32_t w = 1; w < params_.assoc; ++w) {
+                if (set[w].lru < way->lru)
+                    way = &set[w];
+            }
+            if (victim) {
+                victim->valid = true;
+                victim->line = *way;
+            }
+        }
+        *way = Line{};
+        way->addr = ba;
+        way->valid = true;
+        way->lru = ++useCounter_;
+        return way;
+    }
+
+    /** Remove a block (it must be present). */
+    void
+    invalidate(Addr a)
+    {
+        Line *l = find(a);
+        assert(l);
+        *l = Line{};
+    }
+
+    /** Apply @p fn to every valid line (used by invariant checkers). */
+    template <typename Fn>
+    void
+    forEachValid(Fn fn)
+    {
+        for (auto &l : lines_) {
+            if (l.valid)
+                fn(l);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEachValid(Fn fn) const
+    {
+        for (const auto &l : lines_) {
+            if (l.valid)
+                fn(l);
+        }
+    }
+
+    /** Number of currently valid lines. */
+    std::uint64_t
+    validCount() const
+    {
+        std::uint64_t n = 0;
+        forEachValid([&](const Line &) { ++n; });
+        return n;
+    }
+
+  private:
+    Line *
+    setFor(Addr block_addr)
+    {
+        const std::uint64_t idx =
+            (block_addr / params_.blockBytes) & (numSets_ - 1);
+        return &lines_[idx * params_.assoc];
+    }
+
+    CacheParams params_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t useCounter_ = 0;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_MEM_CACHE_HH

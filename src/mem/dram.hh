@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simple DRAM timing model.
+ *
+ * Table 1 gives an 80 ns DRAM/directory access latency. The model adds
+ * an optional minimum inter-access gap per memory controller so that a
+ * burst of accesses serializes (a coarse bank-conflict model); by
+ * default the gap is zero, matching the paper's flat-latency treatment.
+ *
+ * The directory protocol stores its directory state in DRAM (Section
+ * 5.1), so a directory access uses the same model; the "perfect
+ * directory cache" configuration of Figure 5a sets that latency to zero.
+ */
+
+#ifndef TOKENSIM_MEM_DRAM_HH
+#define TOKENSIM_MEM_DRAM_HH
+
+#include <algorithm>
+
+#include "sim/types.hh"
+
+namespace tokensim {
+
+/** DRAM model parameters. */
+struct DramParams
+{
+    Tick latency = nsToTicks(80);   ///< access latency
+    Tick minGap = 0;                ///< minimum spacing between accesses
+};
+
+/**
+ * One memory controller's DRAM channel. Callers ask when an access
+ * started "now" would complete; the model tracks channel occupancy.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params = {}) : params_(params) {}
+
+    const DramParams &params() const { return params_; }
+
+    /**
+     * Begin an access at @p now and return its completion tick.
+     * Accesses closer together than minGap are pushed back.
+     */
+    Tick
+    access(Tick now)
+    {
+        const Tick start = std::max(now, nextStart_);
+        nextStart_ = start + params_.minGap;
+        ++accesses_;
+        return start + params_.latency;
+    }
+
+    /** Total accesses performed. */
+    std::uint64_t accesses() const { return accesses_; }
+
+  private:
+    DramParams params_;
+    Tick nextStart_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_MEM_DRAM_HH

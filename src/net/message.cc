@@ -1,0 +1,64 @@
+#include "net/message.hh"
+
+#include "sim/stats.hh"
+
+namespace tokensim {
+
+const char *
+msgClassName(MsgClass c)
+{
+    switch (c) {
+      case MsgClass::request:    return "request";
+      case MsgClass::reissue:    return "reissue";
+      case MsgClass::persistent: return "persistent";
+      case MsgClass::nonData:    return "nonData";
+      case MsgClass::data:       return "data";
+    }
+    return "?";
+}
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::invalid:           return "Invalid";
+      case MsgType::getS:              return "GetS";
+      case MsgType::getM:              return "GetM";
+      case MsgType::upgrade:           return "Upgrade";
+      case MsgType::data:              return "Data";
+      case MsgType::dataExclusive:     return "DataX";
+      case MsgType::ack:               return "Ack";
+      case MsgType::inv:               return "Inv";
+      case MsgType::invAck:            return "InvAck";
+      case MsgType::wbData:            return "WbData";
+      case MsgType::wbClean:           return "WbClean";
+      case MsgType::wbAck:             return "WbAck";
+      case MsgType::putM:              return "PutM";
+      case MsgType::unblock:           return "Unblock";
+      case MsgType::unblockExclusive:  return "UnblockX";
+      case MsgType::fwdGetS:           return "FwdGetS";
+      case MsgType::fwdGetM:           return "FwdGetM";
+      case MsgType::tokenTransfer:     return "TokenTransfer";
+      case MsgType::persistReq:        return "PersistReq";
+      case MsgType::persistActivate:   return "PersistActivate";
+      case MsgType::persistActAck:     return "PersistActAck";
+      case MsgType::persistDone:       return "PersistDone";
+      case MsgType::persistDeactivate: return "PersistDeactivate";
+      case MsgType::persistDeactAck:   return "PersistDeactAck";
+      case MsgType::numTypes:          break;
+    }
+    return "?";
+}
+
+std::string
+Message::toString() const
+{
+    return strformat("%s[addr=%#lx src=%u dst=%u req=%u tok=%d%s%s]",
+                     msgTypeName(type),
+                     static_cast<unsigned long>(addr),
+                     src, dest, requester, tokens,
+                     ownerToken ? " owner" : "",
+                     hasData ? " data" : "");
+}
+
+} // namespace tokensim

@@ -1,0 +1,297 @@
+#include "net/network.hh"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/log.hh"
+
+namespace tokensim {
+
+Network::Network(EventQueue &eq, std::unique_ptr<Topology> topo,
+                 NetworkParams params)
+    : eq_(eq), topo_(std::move(topo)), params_(params)
+{
+    endpoints_.assign(static_cast<std::size_t>(topo_->numNodes()),
+                      nullptr);
+    linkFree_.assign(topo_->links().size(), 0);
+    bcastIndex_.resize(static_cast<std::size_t>(topo_->numNodes()));
+}
+
+void
+Network::attach(NodeId id, NetworkEndpoint *ep)
+{
+    assert(id < endpoints_.size());
+    endpoints_[id] = ep;
+}
+
+Tick
+Network::serializationTicks(std::uint32_t bytes) const
+{
+    if (params_.unlimitedBandwidth)
+        return 0;
+    return static_cast<Tick>(std::ceil(
+        static_cast<double>(bytes) * static_cast<double>(ticksPerNs) /
+        params_.bytesPerNs));
+}
+
+void
+Network::finalize(Message &msg)
+{
+    msg.size = msg.hasData ? params_.dataBytes : params_.ctrlBytes;
+    msg.sentAt = eq_.curTick();
+}
+
+void
+Network::account(const Message &msg, std::size_t nlinks)
+{
+    auto &cls = stats_.byClass[static_cast<std::size_t>(msg.cls)];
+    ++cls.messages;
+    cls.byteLinks += static_cast<std::uint64_t>(msg.size) * nlinks;
+    ++stats_.messagesByType[static_cast<std::size_t>(msg.type)];
+}
+
+void
+Network::scheduleDelivery(NodeId dest, const Message &msg, Tick when)
+{
+    NetworkEndpoint *ep = endpoints_[dest];
+    assert(ep && "message sent to node with no attached endpoint");
+    Message copy = msg;
+    copy.dest = dest;
+    eq_.schedule(when, [this, ep, copy]() {
+        ++stats_.deliveries;
+        stats_.latency.add(
+            static_cast<double>(eq_.curTick() - copy.sentAt));
+        if (logging::enabled(logging::Level::trace)) {
+            logging::write(logging::Level::trace, eq_.curTick(), "net",
+                           "deliver " + copy.toString());
+        }
+        ep->deliver(copy);
+    });
+}
+
+Tick
+Network::crossLink(LinkId link, Tick ser)
+{
+    const Tick start = std::max(eq_.curTick(), linkFree_[link]);
+    if (!params_.unlimitedBandwidth)
+        linkFree_[link] = start + ser;
+    return start + params_.linkLatency;
+}
+
+// ---------------------------------------------------------------------
+// Unicast
+// ---------------------------------------------------------------------
+
+void
+Network::hopUnicast(const std::vector<LinkId> *path, std::size_t i,
+                    const Message &msg)
+{
+    const Tick ser = serializationTicks(msg.size);
+    const Tick head = crossLink((*path)[i], ser);
+    if (i + 1 == path->size()) {
+        // Tail arrives one serialization delay after the head.
+        scheduleDelivery(msg.dest, msg, head + ser);
+        return;
+    }
+    Message copy = msg;
+    eq_.schedule(head, [this, path, i, copy]() {
+        hopUnicast(path, i + 1, copy);
+    });
+}
+
+void
+Network::unicast(Message msg)
+{
+    finalize(msg);
+    assert(msg.dest != invalidNode);
+    if (msg.dest == msg.src) {
+        account(msg, 0);
+        scheduleDelivery(msg.dest, msg,
+                         eq_.curTick() + params_.localDelay);
+        return;
+    }
+    const auto &path = topo_->route(msg.src, msg.dest);
+    account(msg, path.size());
+    hopUnicast(&path, 0, msg);
+}
+
+// ---------------------------------------------------------------------
+// Tree forwarding (broadcast / multicast)
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const Network::TreeIndex>
+Network::buildTreeIndex(std::vector<TreeEdge> edges, int src_vertex)
+{
+    auto idx = std::make_shared<TreeIndex>();
+    idx->edges = std::move(edges);
+    idx->children.resize(idx->edges.size());
+    std::unordered_map<int, int> edge_to;   // vertex -> edge reaching it
+    for (std::size_t i = 0; i < idx->edges.size(); ++i)
+        edge_to[idx->edges[i].to] = static_cast<int>(i);
+    for (std::size_t i = 0; i < idx->edges.size(); ++i) {
+        const TreeEdge &e = idx->edges[i];
+        if (e.from == src_vertex) {
+            idx->rootEdges.push_back(static_cast<int>(i));
+        } else {
+            auto it = edge_to.find(e.from);
+            assert(it != edge_to.end() &&
+                   "tree edge with unreachable parent");
+            idx->children[static_cast<std::size_t>(it->second)]
+                .push_back(static_cast<int>(i));
+        }
+    }
+    return idx;
+}
+
+const std::shared_ptr<const Network::TreeIndex> &
+Network::broadcastIndex(NodeId src)
+{
+    auto &slot = bcastIndex_[src];
+    if (!slot) {
+        slot = buildTreeIndex(topo_->broadcastTree(src),
+                              static_cast<int>(src));
+    }
+    return slot;
+}
+
+const std::shared_ptr<const Network::TreeIndex> &
+Network::downIndex()
+{
+    if (!downIndex_) {
+        downIndex_ =
+            buildTreeIndex(topo_->downTree(), topo_->rootVertex());
+    }
+    return downIndex_;
+}
+
+void
+Network::transmitEdge(std::shared_ptr<const TreeIndex> idx, int ei,
+                      const Message &msg,
+                      std::shared_ptr<const std::vector<bool>> want)
+{
+    const TreeEdge &e = idx->edges[static_cast<std::size_t>(ei)];
+    const Tick ser = serializationTicks(msg.size);
+    const Tick head = crossLink(e.link, ser);
+
+    const int num_nodes = topo_->numNodes();
+    if (e.to < num_nodes &&
+        (!want || (*want)[static_cast<std::size_t>(e.to)])) {
+        scheduleDelivery(static_cast<NodeId>(e.to), msg, head + ser);
+    }
+    if (!idx->children[static_cast<std::size_t>(ei)].empty()) {
+        Message copy = msg;
+        eq_.schedule(head, [this, idx, ei, copy, want]() {
+            for (int ci : idx->children[static_cast<std::size_t>(ei)])
+                transmitEdge(idx, ci, copy, want);
+        });
+    }
+}
+
+void
+Network::launchTree(const std::shared_ptr<const TreeIndex> &idx,
+                    const Message &msg,
+                    std::shared_ptr<const std::vector<bool>> want)
+{
+    for (int ei : idx->rootEdges)
+        transmitEdge(idx, ei, msg, want);
+}
+
+void
+Network::multicast(Message msg, const std::vector<NodeId> &dests)
+{
+    finalize(msg);
+    msg.isBroadcast = true;
+    auto want = std::make_shared<std::vector<bool>>(
+        static_cast<std::size_t>(topo_->numNodes()), false);
+    bool self = false;
+    std::vector<NodeId> remote;
+    remote.reserve(dests.size());
+    for (NodeId d : dests) {
+        if (d == msg.src) {
+            self = true;
+        } else if (!(*want)[d]) {
+            (*want)[d] = true;
+            remote.push_back(d);
+        }
+    }
+    if (!remote.empty()) {
+        auto idx = buildTreeIndex(
+            topo_->multicastTree(msg.src, remote),
+            static_cast<int>(msg.src));
+        account(msg, idx->edges.size());
+        launchTree(idx, msg, want);
+    } else {
+        account(msg, 0);
+    }
+    if (self) {
+        scheduleDelivery(msg.src, msg,
+                         eq_.curTick() + params_.localDelay);
+    }
+}
+
+void
+Network::broadcast(Message msg)
+{
+    finalize(msg);
+    msg.isBroadcast = true;
+    const auto &idx = broadcastIndex(msg.src);
+    account(msg, idx->edges.size());
+    launchTree(idx, msg, nullptr);
+    // The sender's own node (cache controller and, if it is the home,
+    // memory controller) observes the broadcast locally.
+    scheduleDelivery(msg.src, msg, eq_.curTick() + params_.localDelay);
+}
+
+// ---------------------------------------------------------------------
+// Totally-ordered broadcast
+// ---------------------------------------------------------------------
+
+void
+Network::broadcastOrdered(Message msg)
+{
+    if (!topo_->totallyOrdered()) {
+        throw std::logic_error(
+            "broadcastOrdered requires a totally-ordered topology (" +
+            topo_->name() + " provides none)");
+    }
+    finalize(msg);
+    msg.isBroadcast = true;
+
+    const auto &up = topo_->routeToRoot(msg.src);
+    account(msg, up.size());
+
+    // Phase 1: climb to the root switch hop by hop. The root receives
+    // the full message (head + serialization) before ordering it.
+    climbToRoot(&up, 0, msg, serializationTicks(msg.size));
+}
+
+void
+Network::climbToRoot(const std::vector<LinkId> *up, std::size_t i,
+                     const Message &msg, Tick ser)
+{
+    if (i == up->size()) {
+        // Phase 2: take the next slot in the global total order and
+        // fan out to every node — including the sender. Root events
+        // execute in tick order (FIFO within a tick), which is what
+        // serializes racing broadcasts.
+        Message ordered = msg;
+        ordered.seq = orderSeq_++;
+        const auto &idx = downIndex();
+        auto &cls =
+            stats_.byClass[static_cast<std::size_t>(ordered.cls)];
+        cls.byteLinks += static_cast<std::uint64_t>(ordered.size) *
+            idx->edges.size();
+        launchTree(idx, ordered, nullptr);
+        return;
+    }
+    const Tick head = crossLink((*up)[i], ser);
+    Message copy = msg;
+    eq_.schedule(head + (i + 1 == up->size() ? ser : 0),
+                 [this, up, i, copy, ser]() {
+        climbToRoot(up, i + 1, copy, ser);
+    });
+}
+
+} // namespace tokensim

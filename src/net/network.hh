@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Timing model of the interconnection network.
+ *
+ * Models each directed link with a latency (15 ns default) and a
+ * serialization delay from the 3.2 GB/s link bandwidth; per-link
+ * occupancy produces contention (including the tree's central-root
+ * bottleneck that Section 6 Question #2 discusses). Messages are routed
+ * over the Topology's precomputed paths; broadcasts use bandwidth-
+ * efficient tree multicast (one copy per link). Transfer is modeled as
+ * cut-through: a message pays one serialization delay end-to-end plus
+ * the per-hop link latency, while occupying each crossed link for its
+ * serialization time.
+ *
+ * The "unlimited bandwidth" configuration used for the dark-grey bars of
+ * Figure 4a/5a zeroes serialization and occupancy, leaving pure latency.
+ */
+
+#ifndef TOKENSIM_NET_NETWORK_HH
+#define TOKENSIM_NET_NETWORK_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.hh"
+#include "net/topology.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tokensim {
+
+/** Tunable parameters of the link/network model (Table 1 defaults). */
+struct NetworkParams
+{
+    /** Per-hop link latency (wire + synchronization + route). */
+    Tick linkLatency = nsToTicks(15);
+
+    /** Link bandwidth in bytes per nanosecond (3.2 GB/s). */
+    double bytesPerNs = 3.2;
+
+    /** If true, serialization and contention are disabled. */
+    bool unlimitedBandwidth = false;
+
+    /** Size of control messages on the wire (requests, acks, tokens). */
+    std::uint32_t ctrlBytes = 8;
+
+    /** Size of data messages (8-byte header + 64-byte block). */
+    std::uint32_t dataBytes = 72;
+
+    /** Delivery delay for a message a node sends to itself. */
+    Tick localDelay = 1;
+};
+
+/** Interconnect traffic accounting, per Figure 4b/5b category. */
+struct TrafficStats
+{
+    struct PerClass
+    {
+        std::uint64_t messages = 0;
+        /** Bytes multiplied by links crossed (link utilization). */
+        std::uint64_t byteLinks = 0;
+    };
+
+    std::array<PerClass, numMsgClasses> byClass{};
+    std::array<std::uint64_t, numMsgTypes> messagesByType{};
+    std::uint64_t deliveries = 0;
+    RunningStat latency;   ///< per-delivery network latency, in ticks
+
+    std::uint64_t
+    byteLinksOf(MsgClass c) const
+    {
+        return byClass[static_cast<std::size_t>(c)].byteLinks;
+    }
+
+    std::uint64_t
+    messagesOf(MsgClass c) const
+    {
+        return byClass[static_cast<std::size_t>(c)].messages;
+    }
+
+    std::uint64_t
+    totalByteLinks() const
+    {
+        std::uint64_t t = 0;
+        for (const auto &c : byClass)
+            t += c.byteLinks;
+        return t;
+    }
+
+    void
+    clear()
+    {
+        *this = TrafficStats();
+    }
+};
+
+/**
+ * The interconnection network: owns the topology and link state, routes
+ * messages, applies latency/bandwidth/contention, and delivers them to
+ * attached endpoints through the event queue.
+ */
+class Network
+{
+  public:
+    /**
+     * @param eq the system event queue.
+     * @param topo the topology (ownership transferred).
+     * @param params link model parameters.
+     */
+    Network(EventQueue &eq, std::unique_ptr<Topology> topo,
+            NetworkParams params = {});
+
+    /** Attach the endpoint for node @p id (must cover all nodes). */
+    void attach(NodeId id, NetworkEndpoint *ep);
+
+    /** Number of endpoint nodes. */
+    int numNodes() const { return topo_->numNodes(); }
+
+    /**
+     * Send a point-to-point message to msg.dest. A message to the
+     * sending node itself bypasses the network (localDelay, no
+     * traffic) — this is how a request reaches a home memory that is
+     * co-located with the requester.
+     */
+    void unicast(Message msg);
+
+    /**
+     * Send one logical message to a destination set, forwarded along a
+     * multicast tree so that each crossed link carries a single copy.
+     * A destination equal to the source is delivered locally.
+     */
+    void multicast(Message msg, const std::vector<NodeId> &dests);
+
+    /**
+     * Unordered broadcast to every node. The sender receives its own
+     * copy after localDelay (so a co-located home memory controller
+     * still observes the request); remote nodes receive it through the
+     * broadcast tree. No ordering across broadcasts is guaranteed.
+     */
+    void broadcast(Message msg);
+
+    /**
+     * Totally-ordered broadcast (traditional snooping). Requires a
+     * topology with an ordering root. The message travels to the root,
+     * receives the next global sequence number, and fans out to every
+     * node — including the sender, which is how a snooping requester
+     * learns its own place in the total order. All nodes observe all
+     * ordered broadcasts in sequence-number order.
+     */
+    void broadcastOrdered(Message msg);
+
+    /** True if broadcastOrdered() is usable on this topology. */
+    bool ordered() const { return topo_->totallyOrdered(); }
+
+    const Topology &topology() const { return *topo_; }
+    const NetworkParams &params() const { return params_; }
+
+    const TrafficStats &traffic() const { return stats_; }
+    void clearTraffic() { stats_.clear(); }
+
+    /** Serialization delay in ticks for a message of @p bytes. */
+    Tick serializationTicks(std::uint32_t bytes) const;
+
+  private:
+    /**
+     * A forwarding tree in event-friendly form: edges plus, for each
+     * edge, the indices of its child edges (edges departing from the
+     * vertex it reaches). rootEdges are the edges leaving the source.
+     */
+    struct TreeIndex
+    {
+        std::vector<TreeEdge> edges;
+        std::vector<std::vector<int>> children;
+        std::vector<int> rootEdges;
+    };
+
+    /** Build the child adjacency for a forward-ordered edge list. */
+    static std::shared_ptr<const TreeIndex>
+    buildTreeIndex(std::vector<TreeEdge> edges, int src_vertex);
+
+    /** Cached index of the broadcast tree rooted at each node. */
+    const std::shared_ptr<const TreeIndex> &broadcastIndex(NodeId src);
+
+    /** Cached index of the ordered tree's root-to-all fan-out. */
+    const std::shared_ptr<const TreeIndex> &downIndex();
+
+    /** Fill in wire size and entry timestamp. */
+    void finalize(Message &msg);
+
+    /** Count a message crossing @p nlinks links. */
+    void account(const Message &msg, std::size_t nlinks);
+
+    /** Schedule delivery of @p msg to @p dest at @p when. */
+    void scheduleDelivery(NodeId dest, const Message &msg, Tick when);
+
+    /**
+     * Arbitrate for one link *now* and return the head-arrival tick
+     * at the far end. Links are FIFO with no future reservations:
+     * occupancy starts when the message actually wins the link.
+     */
+    Tick crossLink(LinkId link, Tick ser);
+
+    /**
+     * Transmit edge @p ei of @p idx now; on head arrival, deliver to
+     * node vertices (filtered by @p want if non-null) and recursively
+     * transmit child edges.
+     */
+    void transmitEdge(std::shared_ptr<const TreeIndex> idx, int ei,
+                      const Message &msg,
+                      std::shared_ptr<const std::vector<bool>> want);
+
+    /** Launch all root edges of a tree from the current tick. */
+    void launchTree(const std::shared_ptr<const TreeIndex> &idx,
+                    const Message &msg,
+                    std::shared_ptr<const std::vector<bool>> want);
+
+    /**
+     * Send @p msg along the remaining @p path (starting at element
+     * @p i) hop by hop, delivering to msg.dest at the end.
+     */
+    void hopUnicast(const std::vector<LinkId> *path, std::size_t i,
+                    const Message &msg);
+
+    /**
+     * Climb the ordered tree toward the root hop by hop; at the root,
+     * assign the next global sequence number and fan out down-tree.
+     */
+    void climbToRoot(const std::vector<LinkId> *up, std::size_t i,
+                     const Message &msg, Tick ser);
+
+    EventQueue &eq_;
+    std::unique_ptr<Topology> topo_;
+    NetworkParams params_;
+    std::vector<NetworkEndpoint *> endpoints_;
+    std::vector<Tick> linkFree_;
+    std::vector<std::shared_ptr<const TreeIndex>> bcastIndex_;
+    std::shared_ptr<const TreeIndex> downIndex_;
+    std::uint64_t orderSeq_ = 0;
+    TrafficStats stats_;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_NET_NETWORK_HH

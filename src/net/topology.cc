@@ -1,0 +1,275 @@
+#include "net/topology.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "sim/stats.hh"
+
+namespace tokensim {
+
+void
+Topology::init(int num_nodes, int num_vertices)
+{
+    numNodes_ = num_nodes;
+    numVertices_ = num_vertices;
+    routes_.assign(static_cast<std::size_t>(num_nodes) * num_nodes, {});
+}
+
+LinkId
+Topology::addLink(int from, int to)
+{
+    assert(from >= 0 && from < numVertices_);
+    assert(to >= 0 && to < numVertices_);
+    links_.push_back(LinkDesc{from, to});
+    return static_cast<LinkId>(links_.size() - 1);
+}
+
+void
+Topology::setRoute(NodeId s, NodeId d, std::vector<LinkId> links)
+{
+    routes_[s * static_cast<NodeId>(numNodes_) + d] = std::move(links);
+}
+
+double
+Topology::averageHops() const
+{
+    std::uint64_t total = 0;
+    std::uint64_t pairs = 0;
+    for (NodeId s = 0; s < static_cast<NodeId>(numNodes_); ++s) {
+        for (NodeId d = 0; d < static_cast<NodeId>(numNodes_); ++d) {
+            if (s == d)
+                continue;
+            total += route(s, d).size();
+            ++pairs;
+        }
+    }
+    return pairs ? static_cast<double>(total) / static_cast<double>(pairs)
+                 : 0.0;
+}
+
+std::vector<TreeEdge>
+Topology::unionOfRoutes(NodeId s, const std::vector<NodeId> &dests) const
+{
+    // Collect each link once at its (prefix-consistent) depth.
+    std::vector<int> depth_of(links_.size(), -1);
+    for (NodeId d : dests) {
+        if (d == s)
+            continue;
+        const auto &r = route(s, d);
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            const LinkId l = r[i];
+            assert(depth_of[l] == -1 ||
+                   depth_of[l] == static_cast<int>(i));
+            depth_of[l] = static_cast<int>(i);
+        }
+    }
+    std::vector<TreeEdge> edges;
+    for (LinkId l = 0; l < links_.size(); ++l) {
+        if (depth_of[l] >= 0) {
+            edges.push_back(TreeEdge{l, links_[l].from, links_[l].to,
+                                     depth_of[l]});
+        }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const TreeEdge &a, const TreeEdge &b) {
+                  if (a.depth != b.depth)
+                      return a.depth < b.depth;
+                  return a.link < b.link;
+              });
+    return edges;
+}
+
+void
+Topology::buildBroadcastTrees()
+{
+    std::vector<NodeId> all(static_cast<std::size_t>(numNodes_));
+    for (NodeId i = 0; i < static_cast<NodeId>(numNodes_); ++i)
+        all[i] = i;
+    bcastTrees_.clear();
+    bcastTrees_.reserve(static_cast<std::size_t>(numNodes_));
+    for (NodeId s = 0; s < static_cast<NodeId>(numNodes_); ++s)
+        bcastTrees_.push_back(unionOfRoutes(s, all));
+}
+
+std::vector<TreeEdge>
+Topology::multicastTree(NodeId s, const std::vector<NodeId> &dests) const
+{
+    return unionOfRoutes(s, dests);
+}
+
+// ---------------------------------------------------------------------
+// TreeTopology
+// ---------------------------------------------------------------------
+
+TreeTopology::TreeTopology(int num_nodes, int fanout)
+    : fanout_(fanout)
+{
+    if (num_nodes < 1)
+        throw std::invalid_argument("tree topology needs >= 1 node");
+    if (fanout < 1)
+        throw std::invalid_argument("tree fanout must be >= 1");
+
+    const int groups = (num_nodes + fanout - 1) / fanout;
+    // Vertices: procs, incoming switches, root, outgoing switches.
+    const int in_base = num_nodes;
+    root_ = num_nodes + groups;
+    const int out_base = root_ + 1;
+    init(num_nodes, num_nodes + 2 * groups + 1);
+
+    std::vector<LinkId> up1(num_nodes), up2(groups);
+    std::vector<LinkId> down1(groups), down2(num_nodes);
+    for (int p = 0; p < num_nodes; ++p)
+        up1[p] = addLink(p, in_base + p / fanout);
+    for (int g = 0; g < groups; ++g)
+        up2[g] = addLink(in_base + g, root_);
+    for (int g = 0; g < groups; ++g)
+        down1[g] = addLink(root_, out_base + g);
+    for (int p = 0; p < num_nodes; ++p)
+        down2[p] = addLink(out_base + p / fanout, p);
+
+    for (NodeId s = 0; s < static_cast<NodeId>(num_nodes); ++s) {
+        for (NodeId d = 0; d < static_cast<NodeId>(num_nodes); ++d) {
+            if (s == d)
+                continue;
+            setRoute(s, d, {up1[s], up2[s / fanout],
+                            down1[d / fanout], down2[d]});
+        }
+    }
+
+    toRoot_.resize(static_cast<std::size_t>(num_nodes));
+    for (int p = 0; p < num_nodes; ++p)
+        toRoot_[p] = {up1[p], up2[p / fanout]};
+
+    downTree_.clear();
+    for (int g = 0; g < groups; ++g) {
+        downTree_.push_back(TreeEdge{down1[g], root_, out_base + g, 0});
+    }
+    for (int p = 0; p < num_nodes; ++p) {
+        downTree_.push_back(
+            TreeEdge{down2[p], out_base + p / fanout, p, 1});
+    }
+
+    buildBroadcastTrees();
+}
+
+std::string
+TreeTopology::name() const
+{
+    return strformat("tree%d(fanout=%d)", numNodes_, fanout_);
+}
+
+// ---------------------------------------------------------------------
+// TorusTopology
+// ---------------------------------------------------------------------
+
+int
+TorusTopology::ringDelta(int a, int b, int k)
+{
+    int d = (b - a) % k;
+    if (d < 0)
+        d += k;
+    // Take the shorter way around; ties go the positive direction.
+    return d <= k / 2 ? d : d - k;
+}
+
+TorusTopology::TorusTopology(int kx, int ky)
+    : kx_(kx), ky_(ky)
+{
+    if (kx < 1 || ky < 1)
+        throw std::invalid_argument("torus dimensions must be >= 1");
+
+    const int n = kx * ky;
+    init(n, n);
+
+    // One directed link to each distinct neighbor in each dimension.
+    std::map<std::pair<int, int>, LinkId> link_of;
+    auto connect = [&](int from, int to) {
+        if (from == to)
+            return;
+        auto key = std::make_pair(from, to);
+        if (!link_of.count(key))
+            link_of[key] = addLink(from, to);
+    };
+    for (int y = 0; y < ky; ++y) {
+        for (int x = 0; x < kx; ++x) {
+            const int v = vertexAt(x, y);
+            if (kx > 1) {
+                connect(v, vertexAt((x + 1) % kx, y));
+                connect(v, vertexAt((x + kx - 1) % kx, y));
+            }
+            if (ky > 1) {
+                connect(v, vertexAt(x, (y + 1) % ky));
+                connect(v, vertexAt(x, (y + ky - 1) % ky));
+            }
+        }
+    }
+
+    // Dimension-order (X then Y) shortest-wrap routing.
+    for (int sy = 0; sy < ky; ++sy) {
+        for (int sx = 0; sx < kx; ++sx) {
+            const NodeId s = static_cast<NodeId>(vertexAt(sx, sy));
+            for (int dy = 0; dy < ky; ++dy) {
+                for (int dx = 0; dx < kx; ++dx) {
+                    const NodeId d = static_cast<NodeId>(vertexAt(dx, dy));
+                    if (s == d)
+                        continue;
+                    std::vector<LinkId> r;
+                    int x = sx, y = sy;
+                    const int ddx = ringDelta(sx, dx, kx);
+                    const int sx_step = ddx > 0 ? 1 : -1;
+                    for (int i = 0; i < std::abs(ddx); ++i) {
+                        const int nx = ((x + sx_step) % kx + kx) % kx;
+                        r.push_back(link_of.at(
+                            {vertexAt(x, y), vertexAt(nx, y)}));
+                        x = nx;
+                    }
+                    const int ddy = ringDelta(sy, dy, ky);
+                    const int sy_step = ddy > 0 ? 1 : -1;
+                    for (int i = 0; i < std::abs(ddy); ++i) {
+                        const int ny = ((y + sy_step) % ky + ky) % ky;
+                        r.push_back(link_of.at(
+                            {vertexAt(x, y), vertexAt(x, ny)}));
+                        y = ny;
+                    }
+                    setRoute(s, d, std::move(r));
+                }
+            }
+        }
+    }
+
+    buildBroadcastTrees();
+}
+
+TorusTopology *
+TorusTopology::makeSquare(int num_nodes)
+{
+    if (num_nodes < 1)
+        throw std::invalid_argument("torus needs >= 1 node");
+    int kx = static_cast<int>(std::sqrt(static_cast<double>(num_nodes)));
+    while (kx > 1 && num_nodes % kx != 0)
+        --kx;
+    return new TorusTopology(kx, num_nodes / kx);
+}
+
+std::string
+TorusTopology::name() const
+{
+    return strformat("torus%dx%d", kx_, ky_);
+}
+
+// ---------------------------------------------------------------------
+
+Topology *
+makeTopology(const std::string &kind, int num_nodes)
+{
+    if (kind == "tree")
+        return new TreeTopology(num_nodes);
+    if (kind == "torus")
+        return TorusTopology::makeSquare(num_nodes);
+    throw std::invalid_argument("unknown topology kind: " + kind);
+}
+
+} // namespace tokensim

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Interconnect topologies: the indirect totally-ordered broadcast tree
+ * and the directly-connected unordered torus of the paper's Figure 1.
+ *
+ * A topology is a directed graph of vertices (the first numNodes()
+ * vertices are the processor/memory nodes; the rest are switches) and
+ * links. It precomputes, for every source/destination pair, the ordered
+ * list of links a message crosses, and for every source the spanning
+ * tree used for bandwidth-efficient multicast (each link carries one
+ * copy of a broadcast, as with the tree-based multicast routing the
+ * paper assumes from Duato et al.).
+ */
+
+#ifndef TOKENSIM_NET_TOPOLOGY_HH
+#define TOKENSIM_NET_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tokensim {
+
+/** Index of a directed link within a topology. */
+using LinkId = std::uint32_t;
+
+/** Static description of one directed link. */
+struct LinkDesc
+{
+    int from;   ///< source vertex
+    int to;     ///< destination vertex
+};
+
+/** One edge of a (multicast) forwarding tree, in forward-order. */
+struct TreeEdge
+{
+    LinkId link;   ///< the directed link crossed
+    int from;      ///< parent vertex
+    int to;        ///< child vertex
+    int depth;     ///< link's position along the path from the source
+};
+
+/**
+ * Abstract interconnect topology.
+ *
+ * Subclasses populate the vertex/link structure and the unicast route
+ * table in their constructors; the base class derives broadcast trees
+ * from the routes (valid because both topologies use prefix-consistent
+ * deterministic routing).
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Number of endpoint nodes (vertices 0 .. numNodes()-1). */
+    int numNodes() const { return numNodes_; }
+
+    /** Total vertices including switches. */
+    int numVertices() const { return numVertices_; }
+
+    /** All directed links. */
+    const std::vector<LinkDesc> &links() const { return links_; }
+
+    /**
+     * Ordered link ids crossed by a unicast from node @p s to node
+     * @p d. Empty when s == d.
+     */
+    const std::vector<LinkId> &
+    route(NodeId s, NodeId d) const
+    {
+        return routes_[s * static_cast<NodeId>(numNodes_) + d];
+    }
+
+    /** Number of link crossings from @p s to @p d. */
+    int hops(NodeId s, NodeId d) const
+    {
+        return static_cast<int>(route(s, d).size());
+    }
+
+    /** Mean link crossings over all distinct node pairs. */
+    double averageHops() const;
+
+    /**
+     * Spanning tree reaching every node from @p s, edges in
+     * forward (increasing-depth) order. Used for broadcasts.
+     */
+    const std::vector<TreeEdge> &
+    broadcastTree(NodeId s) const
+    {
+        return bcastTrees_[s];
+    }
+
+    /**
+     * Forwarding edges needed to reach exactly @p dests from @p s
+     * (the union of the unicast routes, deduplicated), in forward
+     * order. Used for destination-set multicast (Section 7).
+     */
+    std::vector<TreeEdge> multicastTree(NodeId s,
+        const std::vector<NodeId> &dests) const;
+
+    /**
+     * True if broadcasts through this topology can be given a total
+     * order observed identically by all nodes (required by traditional
+     * snooping). Only the indirect tree provides this.
+     */
+    virtual bool totallyOrdered() const = 0;
+
+    /** Vertex id of the ordering root; -1 if !totallyOrdered(). */
+    virtual int rootVertex() const { return -1; }
+
+    /** Links from node @p s up to the ordering root (ordered). */
+    virtual const std::vector<LinkId> &
+    routeToRoot(NodeId s) const
+    {
+        (void)s;
+        static const std::vector<LinkId> empty;
+        return empty;
+    }
+
+    /**
+     * Spanning tree from the ordering root down to every node, edges
+     * in forward order (used for the fan-out half of an ordered
+     * broadcast).
+     */
+    virtual const std::vector<TreeEdge> &
+    downTree() const
+    {
+        static const std::vector<TreeEdge> empty;
+        return empty;
+    }
+
+    /** Short description for reports, e.g. "torus4x4". */
+    virtual std::string name() const = 0;
+
+  protected:
+    Topology() = default;
+
+    /** Record the basic shape; call before addLink/setRoute. */
+    void init(int num_nodes, int num_vertices);
+
+    /** Add a directed link and return its id. */
+    LinkId addLink(int from, int to);
+
+    /** Install the unicast route from @p s to @p d. */
+    void setRoute(NodeId s, NodeId d, std::vector<LinkId> links);
+
+    /** Derive broadcast trees from the route table; call last. */
+    void buildBroadcastTrees();
+
+    /** Build a forward-ordered edge union of routes from s to dests. */
+    std::vector<TreeEdge> unionOfRoutes(NodeId s,
+        const std::vector<NodeId> &dests) const;
+
+    int numNodes_ = 0;
+    int numVertices_ = 0;
+    std::vector<LinkDesc> links_;
+    std::vector<std::vector<LinkId>> routes_;
+    std::vector<std::vector<TreeEdge>> bcastTrees_;
+};
+
+/**
+ * The paper's Figure 1a: a two-level indirect broadcast tree with
+ * fan-out @p fanout (default 4). Processors connect to incoming leaf
+ * switches, which feed a single root switch, which feeds outgoing leaf
+ * switches back to every processor. Every message crosses four links;
+ * the root observes every broadcast and assigns the total order that
+ * traditional snooping requires.
+ */
+class TreeTopology : public Topology
+{
+  public:
+    explicit TreeTopology(int num_nodes, int fanout = 4);
+
+    bool totallyOrdered() const override { return true; }
+    int rootVertex() const override { return root_; }
+
+    const std::vector<LinkId> &
+    routeToRoot(NodeId s) const override
+    {
+        return toRoot_[s];
+    }
+
+    const std::vector<TreeEdge> &downTree() const override
+    {
+        return downTree_;
+    }
+
+    std::string name() const override;
+
+  private:
+    int fanout_;
+    int root_;
+    std::vector<std::vector<LinkId>> toRoot_;
+    std::vector<TreeEdge> downTree_;
+};
+
+/**
+ * The paper's Figure 1b: a directly-connected two-dimensional
+ * bidirectional torus (kx * ky nodes) with dimension-order (X then Y)
+ * routing, taking the shorter wrap direction in each dimension. It is
+ * glueless (no switch vertices) and provides no total order.
+ */
+class TorusTopology : public Topology
+{
+  public:
+    TorusTopology(int kx, int ky);
+
+    /** Square torus of n = k*k nodes. */
+    static TorusTopology *makeSquare(int num_nodes);
+
+    bool totallyOrdered() const override { return false; }
+    std::string name() const override;
+
+    int kx() const { return kx_; }
+    int ky() const { return ky_; }
+
+  private:
+    int vertexAt(int x, int y) const { return y * kx_ + x; }
+
+    /**
+     * Signed hop count in a ring of size k from a to b taking the
+     * shorter direction (positive ties broken toward +).
+     */
+    static int ringDelta(int a, int b, int k);
+
+    int kx_;
+    int ky_;
+};
+
+/**
+ * Factory helper: build a topology by name ("tree" or "torus") for
+ * @p num_nodes nodes.
+ */
+Topology *makeTopology(const std::string &kind, int num_nodes);
+
+} // namespace tokensim
+
+#endif // TOKENSIM_NET_TOPOLOGY_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Abstract cache and memory controller interfaces plus a small shared
+ * base class with send/latency helpers.
+ *
+ * Each protocol provides one CacheController per node (the L2 coherence
+ * engine) and one MemoryController per node (the home for the slice of
+ * physical memory interleaved to that node). The harness's Node
+ * dispatches network deliveries: unicasts by Message::dstUnit, and
+ * broadcasts to the cache controller plus — when the node is the
+ * block's home — the memory controller.
+ */
+
+#ifndef TOKENSIM_PROTO_CONTROLLER_HH
+#define TOKENSIM_PROTO_CONTROLLER_HH
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/message.hh"
+#include "proto/context.hh"
+#include "proto/types.hh"
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace tokensim {
+
+/** Common plumbing for cache and memory controllers. */
+class ControllerBase
+{
+  public:
+    ControllerBase(ProtoContext &ctx, NodeId id, std::string tag)
+        : ctx_(ctx), id_(id), tag_(std::move(tag))
+    {}
+
+    virtual ~ControllerBase() = default;
+
+    ControllerBase(const ControllerBase &) = delete;
+    ControllerBase &operator=(const ControllerBase &) = delete;
+
+    NodeId nodeId() const { return id_; }
+
+  protected:
+    /** Unicast @p msg after @p delay ticks of local processing. */
+    void
+    sendAfter(Tick delay, Message msg)
+    {
+        msg.src = id_;
+        ctx_.eq->scheduleIn(delay,
+                            [this, msg]() { ctx_.net->unicast(msg); });
+    }
+
+    /** Broadcast @p msg (unordered) after @p delay ticks. */
+    void
+    broadcastAfter(Tick delay, Message msg)
+    {
+        msg.src = id_;
+        ctx_.eq->scheduleIn(delay,
+                            [this, msg]() { ctx_.net->broadcast(msg); });
+    }
+
+    /** Totally-ordered broadcast after @p delay ticks. */
+    void
+    broadcastOrderedAfter(Tick delay, Message msg)
+    {
+        msg.src = id_;
+        ctx_.eq->scheduleIn(
+            delay, [this, msg]() { ctx_.net->broadcastOrdered(msg); });
+    }
+
+    /** Multicast to a destination set after @p delay ticks. */
+    void
+    multicastAfter(Tick delay, Message msg, std::vector<NodeId> dests)
+    {
+        msg.src = id_;
+        ctx_.eq->scheduleIn(delay, [this, msg, d = std::move(dests)]() {
+            ctx_.net->multicast(msg, d);
+        });
+    }
+
+    /** Trace helper (no-op unless trace logging is enabled). */
+    void
+    trace(const std::string &what) const
+    {
+        if (logging::enabled(logging::Level::trace))
+            logging::write(logging::Level::trace, ctx_.now(), tag_, what);
+    }
+
+    ProtoContext &ctx_;
+    NodeId id_;
+    std::string tag_;
+};
+
+/**
+ * The per-node L2 coherence engine: accepts processor requests from the
+ * sequencer and coherence messages from the network.
+ */
+class CacheController : public ControllerBase
+{
+  public:
+    /** Called when a processor request completes. */
+    using CompletionFn = std::function<void(const ProcResponse &)>;
+
+    /**
+     * Called when a block leaves the L2 (eviction, invalidation, or
+     * loss of all permission); the sequencer uses it to keep its L1
+     * inclusive.
+     */
+    using LineRemovedFn = std::function<void(Addr)>;
+
+    using ControllerBase::ControllerBase;
+
+    /**
+     * Start one processor memory operation. At most one operation per
+     * block may be outstanding from the local processor (the sequencer
+     * serializes same-block operations).
+     */
+    virtual void request(const ProcRequest &req) = 0;
+
+    /** Handle a coherence message delivered by the network. */
+    virtual void handleMessage(const Message &msg) = 0;
+
+    /**
+     * True if the local L2 currently holds permission for @p op on
+     * @p addr (used by tests and for hit classification).
+     */
+    virtual bool hasPermission(Addr addr, MemOp op) const = 0;
+
+    void setCompletionCallback(CompletionFn fn) { complete_ = std::move(fn); }
+    void setLineRemovedCallback(LineRemovedFn fn) { removed_ = std::move(fn); }
+
+    const CacheCtrlStats &stats() const { return stats_; }
+    CacheCtrlStats &stats() { return stats_; }
+
+  protected:
+    void
+    respond(const ProcResponse &resp)
+    {
+        if (complete_)
+            complete_(resp);
+    }
+
+    void
+    notifyLineRemoved(Addr addr)
+    {
+        if (removed_)
+            removed_(addr);
+    }
+
+    CompletionFn complete_;
+    LineRemovedFn removed_;
+    CacheCtrlStats stats_;
+};
+
+/**
+ * The home memory controller for the slice of shared memory interleaved
+ * to a node. Also hosts protocol-specific home-side machinery (the
+ * directory, the hammer serializer, or the persistent-request arbiter).
+ */
+class MemoryController : public ControllerBase
+{
+  public:
+    using ControllerBase::ControllerBase;
+
+    /** Handle a coherence message delivered by the network. */
+    virtual void handleMessage(const Message &msg) = 0;
+
+    /**
+     * Debug/verification accessor: the current memory image of a
+     * block (the value a fresh reader would obtain from DRAM).
+     */
+    virtual std::uint64_t peekData(Addr addr) const = 0;
+};
+
+/**
+ * Backing data store for one home memory controller. Untouched blocks
+ * read as a deterministic function of their address (the block-aligned
+ * address itself), which makes wrong-block and stale-data protocol bugs
+ * visible to the value-checking tests.
+ */
+class BackingStore
+{
+  public:
+    explicit BackingStore(std::uint32_t block_bytes)
+        : blockBytes_(block_bytes)
+    {}
+
+    /** The architectural initial contents of a block. */
+    static std::uint64_t
+    initialValue(Addr block_addr)
+    {
+        return block_addr;
+    }
+
+    std::uint64_t
+    read(Addr a) const
+    {
+        const Addr ba = align(a);
+        auto it = data_.find(ba);
+        return it == data_.end() ? initialValue(ba) : it->second;
+    }
+
+    void
+    write(Addr a, std::uint64_t v)
+    {
+        data_[align(a)] = v;
+    }
+
+  private:
+    Addr
+    align(Addr a) const
+    {
+        return a & ~static_cast<Addr>(blockBytes_ - 1);
+    }
+
+    std::uint32_t blockBytes_;
+    std::unordered_map<Addr, std::uint64_t> data_;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_PROTO_CONTROLLER_HH

@@ -1,0 +1,36 @@
+#include "proto/types.hh"
+
+namespace tokensim {
+
+const char *
+protocolName(ProtocolKind k)
+{
+    switch (k) {
+      case ProtocolKind::snooping:  return "Snooping";
+      case ProtocolKind::directory: return "Directory";
+      case ProtocolKind::hammer:    return "Hammer";
+      case ProtocolKind::tokenB:    return "TokenB";
+      case ProtocolKind::tokenD:    return "TokenD";
+      case ProtocolKind::tokenM:    return "TokenM";
+      case ProtocolKind::tokenA:    return "TokenA";
+      case ProtocolKind::tokenNull: return "TokenNull";
+    }
+    return "?";
+}
+
+bool
+isTokenProtocol(ProtocolKind k)
+{
+    switch (k) {
+      case ProtocolKind::tokenB:
+      case ProtocolKind::tokenD:
+      case ProtocolKind::tokenM:
+      case ProtocolKind::tokenA:
+      case ProtocolKind::tokenNull:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace tokensim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives the whole simulated system. Components
+ * schedule callbacks at absolute or relative ticks; events scheduled for
+ * the same tick fire in FIFO order of scheduling (a deterministic total
+ * order, which keeps simulations reproducible for a given seed).
+ *
+ * There is intentionally no event cancellation: components that may need
+ * to abandon a timer (e.g., TokenB reissue timers) tag their events with a
+ * generation counter and ignore stale firings. This mirrors the common
+ * simulator idiom and keeps the queue simple and fast.
+ */
+
+#ifndef TOKENSIM_SIM_EVENT_QUEUE_HH
+#define TOKENSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tokensim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * The central event queue of a simulated system.
+ *
+ * Each System owns exactly one EventQueue. All components hold a
+ * reference to it and schedule work through it; curTick() is the only
+ * notion of "now" in the simulator.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /**
+     * Schedule an event at an absolute tick.
+     * @param when absolute tick; must not be in the past.
+     * @param fn callback to run.
+     */
+    void
+    schedule(Tick when, EventFn fn)
+    {
+        if (when < curTick_)
+            when = curTick_;
+        events_.push(Entry{when, nextSeq_++, std::move(fn)});
+    }
+
+    /** Schedule an event @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, EventFn fn)
+    {
+        schedule(curTick_ + delay, std::move(fn));
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Run until the queue drains or @p maxTick is passed.
+     *
+     * Events scheduled exactly at @p maxTick still execute; the first
+     * event strictly beyond it stays queued and the clock advances to
+     * @p maxTick.
+     *
+     * @return true if the queue drained, false if maxTick stopped it.
+     */
+    bool
+    run(Tick maxTick = tickNever)
+    {
+        while (!events_.empty()) {
+            const Entry &top = events_.top();
+            if (top.when > maxTick) {
+                curTick_ = maxTick;
+                return false;
+            }
+            curTick_ = top.when;
+            EventFn fn = std::move(const_cast<Entry &>(top).fn);
+            events_.pop();
+            ++executed_;
+            fn();
+        }
+        return true;
+    }
+
+    /**
+     * Run until @p pred returns true (checked after every event), the
+     * queue drains, or @p maxTick passes.
+     *
+     * @return true if pred was satisfied.
+     */
+    bool
+    runUntil(const std::function<bool()> &pred, Tick maxTick = tickNever)
+    {
+        if (pred())
+            return true;
+        while (!events_.empty()) {
+            const Entry &top = events_.top();
+            if (top.when > maxTick) {
+                curTick_ = maxTick;
+                return false;
+            }
+            curTick_ = top.when;
+            EventFn fn = std::move(const_cast<Entry &>(top).fn);
+            events_.pop();
+            ++executed_;
+            fn();
+            if (pred())
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> events_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,40 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+
+namespace tokensim {
+namespace logging {
+
+namespace {
+Level globalLevel = Level::none;
+} // namespace
+
+void
+setLevel(Level lvl)
+{
+    globalLevel = lvl;
+}
+
+Level
+level()
+{
+    return globalLevel;
+}
+
+bool
+enabled(Level lvl)
+{
+    return static_cast<int>(lvl) <= static_cast<int>(globalLevel);
+}
+
+void
+write(Level lvl, Tick tick, const std::string &tag, const std::string &msg)
+{
+    if (!enabled(lvl))
+        return;
+    std::fprintf(stdout, "[%10.1fns] %-12s %s\n", ticksToNsF(tick),
+                 tag.c_str(), msg.c_str());
+}
+
+} // namespace logging
+} // namespace tokensim

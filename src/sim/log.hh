@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal leveled logging for simulator debugging.
+ *
+ * Logging is off by default (Level::none) so benches pay only a branch.
+ * Tests and the examples turn on trace output to show protocol activity
+ * (e.g., the Figure-2 race walk-through prints every message).
+ */
+
+#ifndef TOKENSIM_SIM_LOG_HH
+#define TOKENSIM_SIM_LOG_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tokensim {
+namespace logging {
+
+/** Verbosity levels, in increasing detail. */
+enum class Level
+{
+    none = 0,
+    warn,
+    info,
+    debug,
+    trace,
+};
+
+/** Set the global verbosity. */
+void setLevel(Level lvl);
+
+/** Current global verbosity. */
+Level level();
+
+/** True if a message at @p lvl would be emitted. */
+bool enabled(Level lvl);
+
+/**
+ * Emit one line: "[tick] tag: message".
+ * @param lvl severity of this message.
+ * @param tick current simulated time (for prefixing).
+ * @param tag short component tag such as "tokenb.3" or "net".
+ * @param msg preformatted body.
+ */
+void write(Level lvl, Tick tick, const std::string &tag,
+           const std::string &msg);
+
+} // namespace logging
+} // namespace tokensim
+
+#endif // TOKENSIM_SIM_LOG_HH

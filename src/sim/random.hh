@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component (workload generators, the TokenB backoff
+ * timer, the random tester) owns its own Rng seeded from the system seed
+ * plus a component-specific salt, so adding a component never perturbs
+ * the random stream of another. Runs with equal seeds are bit-identical.
+ */
+
+#ifndef TOKENSIM_SIM_RANDOM_HH
+#define TOKENSIM_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace tokensim {
+
+/**
+ * A small, fast, deterministic RNG (xoshiro256** seeded via SplitMix64).
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed; equal seeds give identical streams. */
+    explicit Rng(std::uint64_t seed = 0x544f4b454e53494dULL)
+    {
+        // SplitMix64 to spread the seed over the full state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Derive an independent stream for a sub-component. */
+    Rng
+    fork(std::uint64_t salt)
+    {
+        return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ULL + salt));
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method (unbiased).
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t t = -bound % bound;
+            while (lo < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial: true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometrically distributed count of trials until first success with
+     * probability @p p (>= 1). Used for think-time style delays.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 1;
+        double u = uniform();
+        // Avoid log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-60;
+        return 1 +
+            static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_SIM_RANDOM_HH

@@ -1,0 +1,27 @@
+#include "sim/stats.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tokensim {
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, ap2);
+        out.resize(static_cast<std::size_t>(needed));
+    }
+    va_end(ap2);
+    return out;
+}
+
+} // namespace tokensim

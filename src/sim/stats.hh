@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Lightweight statistics utilities.
+ *
+ * Components accumulate counters and distributions during simulation; the
+ * harness reads them out at the end of a run to assemble the paper's
+ * tables and figures. Nothing here is thread-aware: the simulator is
+ * single-threaded and deterministic.
+ */
+
+#ifndef TOKENSIM_SIM_STATS_HH
+#define TOKENSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tokensim {
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ *
+ * Used for miss latencies (TokenB's adaptive reissue timeout needs a
+ * recent average) and for run-to-run error bars.
+ */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    void
+    reset()
+    {
+        *this = RunningStat();
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Exponentially-weighted moving average.
+ *
+ * TokenB sizes its reissue timeout from the *recent* average miss
+ * latency (Section 4.2); an EWMA captures "recent" without storing a
+ * window.
+ */
+class Ewma
+{
+  public:
+    /** @param alpha weight of each new sample, in (0, 1]. */
+    explicit Ewma(double alpha = 0.1, double initial = 0.0)
+        : alpha_(alpha), value_(initial)
+    {}
+
+    void
+    add(double x)
+    {
+        if (!primed_) {
+            value_ = x;
+            primed_ = true;
+        } else {
+            value_ += alpha_ * (x - value_);
+        }
+    }
+
+    double value() const { return value_; }
+    bool primed() const { return primed_; }
+
+    void
+    reset(double initial = 0.0)
+    {
+        value_ = initial;
+        primed_ = false;
+    }
+
+  private:
+    double alpha_;
+    double value_;
+    bool primed_ = false;
+};
+
+/**
+ * Fixed-width linear histogram with an overflow bucket; enough for miss
+ * latency distributions and queue depths.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket.
+     * @param num_buckets number of regular buckets (plus one overflow).
+     */
+    explicit Histogram(double bucket_width = 1.0,
+                       std::size_t num_buckets = 64)
+        : width_(bucket_width), buckets_(num_buckets + 1, 0)
+    {}
+
+    void
+    add(double x)
+    {
+        stat_.add(x);
+        auto idx = static_cast<std::size_t>(x / width_);
+        if (idx >= buckets_.size() - 1)
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+
+    std::uint64_t count() const { return stat_.count(); }
+    double mean() const { return stat_.mean(); }
+    double stddev() const { return stat_.stddev(); }
+    double max() const { return stat_.max(); }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    double bucketWidth() const { return width_; }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    RunningStat stat_;
+};
+
+/** printf-style std::string formatting helper. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace tokensim
+
+#endif // TOKENSIM_SIM_STATS_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Synthetic commercial workload generators standing in for the paper's
+ * OLTP, Apache, and SPECjbb full-system checkpoints.
+ *
+ * Each generator mixes four access patterns with per-workload
+ * fractions (see commercial.cc for the presets and their rationale):
+ *
+ *  - private:      per-processor data, Zipf-skewed working set sized
+ *                  against the 4 MB L2 to produce capacity misses that
+ *                  memory must serve;
+ *  - shared read-mostly: hot read-shared structures (code-like and
+ *                  lookup structures) with a small store fraction;
+ *  - migratory:    lock/counter blocks accessed load-then-store by one
+ *                  processor at a time — the dominant cache-to-cache
+ *                  pattern in OLTP [8, 12, 40];
+ *  - producer-consumer: blocks written by a home producer and read by
+ *                  others.
+ *
+ * A "transaction" is a fixed number of operations; runtime results are
+ * reported as cycles per transaction like the paper's figures.
+ */
+
+#ifndef TOKENSIM_WORKLOAD_COMMERCIAL_HH
+#define TOKENSIM_WORKLOAD_COMMERCIAL_HH
+
+#include <deque>
+
+#include "workload/workload.hh"
+
+namespace tokensim {
+
+/**
+ * Mixing fractions and region sizes for a commercial workload.
+ *
+ * Accesses split into five patterns:
+ *  - private hot:  a per-node Zipf-skewed resident set (cache hits
+ *    after a short warmup; the L1 filters its head);
+ *  - private cold: a per-node streaming sweep over a large region —
+ *    every access touches a fresh block, modeling the capacity-miss
+ *    component that memory must serve without requiring the simulator
+ *    to warm tens of megabytes;
+ *  - shared read-mostly, migratory, producer-consumer as described in
+ *    workload.hh.
+ */
+struct CommercialParams
+{
+    std::string name = "generic";
+
+    // Pattern mix (must sum to 1).
+    double fracPrivateHot = 0.68;
+    double fracPrivateCold = 0.04;
+    double fracSharedRead = 0.14;
+    double fracMigratory = 0.10;
+    double fracProdCons = 0.04;
+
+    // Store fractions inside each pattern.
+    double privateStoreFrac = 0.30;
+    double sharedStoreFrac = 0.02;
+
+    // Working-set shaping.
+    std::uint64_t hotPrivateBlocks = 6 << 10;   ///< 384 kB resident
+    std::uint64_t sharedHotBlocks = 1 << 13;
+    std::uint64_t migratoryHotBlocks = 1 << 9;
+    std::uint64_t prodConsHotBlocks = 1 << 10;
+    double zipfTheta = 0.65;
+
+    int opsPerTransaction = 50;
+
+    /** Built-in presets. */
+    static CommercialParams oltp();
+    static CommercialParams apache();
+    static CommercialParams specjbb();
+
+    /** Preset lookup by name ("oltp" / "apache" / "specjbb"). */
+    static CommercialParams preset(const std::string &which);
+};
+
+/** The per-processor generator. */
+class CommercialWorkload : public Workload
+{
+  public:
+    /**
+     * @param node this processor.
+     * @param num_nodes system size.
+     * @param map shared address-space layout.
+     * @param params workload preset.
+     * @param seed per-node stream seed.
+     */
+    CommercialWorkload(NodeId node, int num_nodes,
+                       const AddressMap &map,
+                       const CommercialParams &params,
+                       std::uint64_t seed);
+
+    WorkloadOp next() override;
+    std::string name() const override { return params_.name; }
+
+  private:
+    /** Queue the load+store pair of a migratory critical section. */
+    void queueMigratorySection();
+
+    NodeId node_;
+    int numNodes_;
+    AddressMap map_;
+    CommercialParams params_;
+    Rng rng_;
+    ZipfSampler privateZipf_;
+    ZipfSampler sharedZipf_;
+    ZipfSampler migratoryZipf_;
+    std::deque<WorkloadOp> pending_;
+    std::uint64_t opCount_ = 0;
+    std::uint64_t coldCursor_ = 0;   ///< streaming sweep position
+    std::uint64_t scanPos_ = 0;      ///< warm-scan preamble position
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_WORKLOAD_COMMERCIAL_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Workload generator interface and building blocks.
+ *
+ * The paper drives its evaluation with full-system commercial workload
+ * checkpoints (OLTP, Apache, SPECjbb). Those are substituted here by
+ * synthetic generators that reproduce the sharing *patterns* those
+ * workloads are known for (Barroso et al. [8]; Alameldeen et al. [6]):
+ * per-processor private data, read-mostly shared data,
+ * producer-consumer data, and — dominant in OLTP — migratory data
+ * (locks and counters accessed read-modify-write by one processor at a
+ * time). See DESIGN.md §1 for the substitution rationale.
+ *
+ * A Workload instance is the per-processor operation stream: the
+ * sequencer pulls one WorkloadOp at a time.
+ */
+
+#ifndef TOKENSIM_WORKLOAD_WORKLOAD_HH
+#define TOKENSIM_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/types.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace tokensim {
+
+/** One memory operation produced by a workload generator. */
+struct WorkloadOp
+{
+    MemOp op = MemOp::load;
+    Addr addr = 0;
+    bool endsTransaction = false;  ///< closes one unit of work
+};
+
+/** Per-processor stream of memory operations. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next operation of this processor's stream. */
+    virtual WorkloadOp next() = 0;
+
+    /** Generator name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Zipf-distributed sampler over [0, n): item k has weight
+ * 1/(k+1)^theta. theta = 0 degenerates to uniform. Sampling is a
+ * binary search over the precomputed CDF.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double theta);
+
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/**
+ * Shared layout of the synthetic address space. All generators draw
+ * from these four region types; region placement interleaves homes
+ * across all nodes automatically (block-address interleaving).
+ */
+struct AddressMap
+{
+    std::uint32_t blockBytes = 64;
+
+    std::uint64_t privateBlocksPerNode = 1 << 18;  ///< 16 MB/node
+    std::uint64_t sharedBlocks = 1 << 14;          ///< read-mostly
+    std::uint64_t migratoryBlocks = 1 << 12;       ///< locks/counters
+    std::uint64_t prodConsBlocks = 1 << 12;
+
+    /** Region bases (computed; regions are disjoint). */
+    Addr
+    privateBase(NodeId node) const
+    {
+        return (Addr{node} * privateBlocksPerNode) * blockBytes;
+    }
+
+    Addr
+    sharedBase(int num_nodes) const
+    {
+        return (Addr{static_cast<std::uint64_t>(num_nodes)} *
+                privateBlocksPerNode) * blockBytes;
+    }
+
+    Addr
+    migratoryBase(int num_nodes) const
+    {
+        return sharedBase(num_nodes) + sharedBlocks * blockBytes;
+    }
+
+    Addr
+    prodConsBase(int num_nodes) const
+    {
+        return migratoryBase(num_nodes) + migratoryBlocks * blockBytes;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Microbenchmark generators
+// ---------------------------------------------------------------------
+
+/**
+ * Uniform random accesses to a small hot set shared by every
+ * processor; storeFraction of the operations are writes. Used by the
+ * Question-5 scaling study and the contention stress tests.
+ */
+class UniformSharedWorkload : public Workload
+{
+  public:
+    UniformSharedWorkload(std::uint64_t blocks, double store_fraction,
+                          std::uint32_t block_bytes, std::uint64_t seed,
+                          int ops_per_transaction = 20)
+        : blocks_(blocks), storeFraction_(store_fraction),
+          blockBytes_(block_bytes), rng_(seed),
+          opsPerTransaction_(ops_per_transaction)
+    {}
+
+    WorkloadOp
+    next() override
+    {
+        WorkloadOp op;
+        op.addr = rng_.below(blocks_) * blockBytes_;
+        op.op = rng_.chance(storeFraction_) ? MemOp::store : MemOp::load;
+        op.endsTransaction = (++count_ % opsPerTransaction_) == 0;
+        return op;
+    }
+
+    std::string name() const override { return "uniform-shared"; }
+
+  private:
+    std::uint64_t blocks_;
+    double storeFraction_;
+    std::uint32_t blockBytes_;
+    Rng rng_;
+    int opsPerTransaction_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Every processor hammers the same single block with stores — the
+ * worst case for racing transient requests, used to exercise reissues
+ * and persistent requests.
+ */
+class HotBlockWorkload : public Workload
+{
+  public:
+    HotBlockWorkload(Addr block_addr, double store_fraction,
+                     std::uint64_t seed)
+        : addr_(block_addr), storeFraction_(store_fraction), rng_(seed)
+    {}
+
+    WorkloadOp
+    next() override
+    {
+        WorkloadOp op;
+        op.addr = addr_;
+        op.op = rng_.chance(storeFraction_) ? MemOp::store : MemOp::load;
+        op.endsTransaction = true;
+        return op;
+    }
+
+    std::string name() const override { return "hot-block"; }
+
+  private:
+    Addr addr_;
+    double storeFraction_;
+    Rng rng_;
+};
+
+/** Purely private accesses (no sharing): a protocol-overhead floor. */
+class PrivateWorkload : public Workload
+{
+  public:
+    PrivateWorkload(NodeId node, const AddressMap &map,
+                    std::uint64_t working_set_blocks, double store_frac,
+                    std::uint64_t seed)
+        : base_(map.privateBase(node)),
+          blocks_(working_set_blocks),
+          blockBytes_(map.blockBytes),
+          storeFraction_(store_frac),
+          rng_(seed)
+    {}
+
+    WorkloadOp
+    next() override
+    {
+        WorkloadOp op;
+        op.addr = base_ + rng_.below(blocks_) * blockBytes_;
+        op.op = rng_.chance(storeFraction_) ? MemOp::store : MemOp::load;
+        op.endsTransaction = (++count_ % 20) == 0;
+        return op;
+    }
+
+    std::string name() const override { return "private"; }
+
+  private:
+    Addr base_;
+    std::uint64_t blocks_;
+    std::uint32_t blockBytes_;
+    double storeFraction_;
+    Rng rng_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the Section-7 extension performance protocols: TokenD's
+ * soft-state home redirection, TokenM's destination-set prediction
+ * and broadcast fallback, and the framework claim itself — changing
+ * the performance protocol never changes correctness, only traffic
+ * and latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ext/tokena.hh"
+#include "core/ext/tokend.hh"
+#include "core/ext/tokenm.hh"
+#include "harness/system.hh"
+#include "proto_test_util.hh"
+
+namespace tokensim {
+namespace {
+
+using testutil::ProtoDriver;
+using testutil::smallConfig;
+
+constexpr Addr kBlock = 0x400;
+
+TEST(TokenD, UnicastsToHomeInsteadOfBroadcasting)
+{
+    ProtoDriver d(smallConfig(ProtocolKind::tokenD));
+    d.load(1, kBlock);
+    d.drain();
+    // One request message, one link-hop cost pattern: request
+    // traffic far below a broadcast's 3 tree links.
+    const auto &t = d.sys->net().traffic();
+    EXPECT_EQ(t.messagesOf(MsgClass::request), 1u);
+    d.expectConserved();
+}
+
+TEST(TokenD, SoftStateRedirectsToOwner)
+{
+    ProtoDriver d(smallConfig(ProtocolKind::tokenD));
+    d.store(1, kBlock, 0xaa);   // soft state: probable owner = 1
+    auto &mem = dynamic_cast<TokenDMemory &>(d.sys->memory(0));
+    ASSERT_NE(mem.softState(kBlock), nullptr);
+    EXPECT_EQ(mem.softState(kBlock)->probableOwner, 1u);
+    // A second requester is redirected to node 1 and completes
+    // cache-to-cache.
+    const ProcResponse r = d.load(2, kBlock);
+    EXPECT_TRUE(r.cacheToCache);
+    EXPECT_EQ(r.value, 0xaau);
+    d.drain();
+    d.expectConserved();
+}
+
+TEST(TokenD, StaleSoftStateRecoversViaReissue)
+{
+    ProtoDriver d(smallConfig(ProtocolKind::tokenD));
+    d.store(1, kBlock, 0xaa);
+    d.load(2, kBlock);          // migratory: tokens move 1 -> 2
+    d.store(3, kBlock, 0xbb);   // 3 gathers everything
+    // Soft state has churned; a fresh reader must still succeed
+    // (possibly via reissue), and see the latest value.
+    const ProcResponse r = d.load(0, kBlock);
+    EXPECT_EQ(r.value, 0xbbu);
+    d.drain();
+    d.expectConserved();
+}
+
+TEST(TokenM, PredictorLearnsHolders)
+{
+    DestSetPredictor p(64, 64);
+    EXPECT_TRUE(p.predict(0x1000).empty());
+    p.train(0x1000, 3);
+    p.train(0x1000, 7);
+    const auto set = p.predict(0x1000);
+    ASSERT_EQ(set.size(), 2u);
+    EXPECT_EQ(set[0], 3u);
+    EXPECT_EQ(set[1], 7u);
+}
+
+TEST(TokenM, PredictorEvictsOnConflict)
+{
+    DestSetPredictor p(1, 64);   // single entry: every block aliases
+    p.train(0x1000, 3);
+    p.train(0x2000, 5);          // evicts 0x1000's entry
+    EXPECT_TRUE(p.predict(0x1000).empty());
+    const auto set = p.predict(0x2000);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set[0], 5u);
+}
+
+TEST(TokenM, FirstRequestMulticastsToHomeOnly)
+{
+    ProtoDriver d(smallConfig(ProtocolKind::tokenM));
+    const ProcResponse r = d.load(1, kBlock);
+    EXPECT_EQ(r.value, kBlock);
+    auto &c = dynamic_cast<TokenMCache &>(d.sys->cache(1));
+    EXPECT_EQ(c.multicasts(), 1u);
+    EXPECT_EQ(c.broadcastFallbacks(), 0u);
+    d.drain();
+    d.expectConserved();
+}
+
+TEST(TokenM, UsesLessRequestTrafficThanTokenB)
+{
+    auto request_traffic = [](ProtocolKind kind) {
+        SystemConfig cfg;
+        cfg.numNodes = 16;
+        cfg.topology = "torus";
+        cfg.protocol = kind;
+        cfg.workload = "uniform";
+        cfg.uniformBlocks = 64;
+        cfg.opsPerProcessor = 1500;
+        cfg.attachAuditor = true;
+        cfg.seed = 5;
+        System sys(cfg);
+        sys.run();
+        std::string err;
+        EXPECT_TRUE(!sys.auditor() || sys.auditor()->auditAll(&err))
+            << err;
+        const auto &t = sys.results().traffic;
+        return t.byteLinksOf(MsgClass::request) +
+            t.byteLinksOf(MsgClass::reissue);
+    };
+    const auto tokenm = request_traffic(ProtocolKind::tokenM);
+    const auto tokenb = request_traffic(ProtocolKind::tokenB);
+    EXPECT_LT(static_cast<double>(tokenm),
+              0.8 * static_cast<double>(tokenb));
+}
+
+TEST(TokenD, UsesLessRequestTrafficThanTokenM)
+{
+    // The Section-7 traffic spectrum: TokenD (directory-like) below
+    // TokenM (predictive multicast) below TokenB (broadcast).
+    auto request_traffic = [](ProtocolKind kind) {
+        SystemConfig cfg;
+        cfg.numNodes = 16;
+        cfg.topology = "torus";
+        cfg.protocol = kind;
+        cfg.workload = "uniform";
+        cfg.uniformBlocks = 256;
+        cfg.opsPerProcessor = 1000;
+        cfg.attachAuditor = false;
+        cfg.seed = 6;
+        System sys(cfg);
+        sys.run();
+        const auto &t = sys.results().traffic;
+        return t.byteLinksOf(MsgClass::request);
+    };
+    EXPECT_LT(request_traffic(ProtocolKind::tokenD),
+              request_traffic(ProtocolKind::tokenB));
+}
+
+TEST(TokenA, BroadcastsWhenBandwidthIsPlentiful)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 16;
+    cfg.topology = "torus";
+    cfg.protocol = ProtocolKind::tokenA;
+    cfg.workload = "uniform";
+    cfg.uniformBlocks = 256;
+    cfg.opsPerProcessor = 1500;
+    cfg.net.unlimitedBandwidth = true;   // utilization estimate ~= 0
+    cfg.attachAuditor = true;
+    System sys(cfg);
+    sys.run();
+    std::uint64_t bcasts = 0, unis = 0;
+    for (int n = 0; n < 16; ++n) {
+        auto &c = dynamic_cast<TokenACache &>(
+            sys.cache(static_cast<NodeId>(n)));
+        bcasts += c.broadcastIssues();
+        unis += c.unicastIssues();
+    }
+    EXPECT_GT(bcasts, 0u);
+    EXPECT_EQ(unis, 0u);
+    std::string err;
+    EXPECT_TRUE(sys.auditor()->auditAll(&err)) << err;
+}
+
+TEST(TokenA, SwitchesToUnicastUnderBandwidthPressure)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 16;
+    cfg.topology = "torus";
+    cfg.protocol = ProtocolKind::tokenA;
+    cfg.workload = "uniform";
+    cfg.uniformBlocks = 256;
+    cfg.opsPerProcessor = 1500;
+    cfg.net.bytesPerNs = 0.4;   // starved links: 1/8 the paper's BW
+    cfg.attachAuditor = true;
+    System sys(cfg);
+    sys.run();
+    std::uint64_t bcasts = 0, unis = 0;
+    double max_util = 0;
+    for (int n = 0; n < 16; ++n) {
+        auto &c = dynamic_cast<TokenACache &>(
+            sys.cache(static_cast<NodeId>(n)));
+        bcasts += c.broadcastIssues();
+        unis += c.unicastIssues();
+        max_util = std::max(max_util, c.utilizationEstimate());
+    }
+    EXPECT_GT(unis, bcasts) << "max util seen: " << max_util;
+    std::string err;
+    EXPECT_TRUE(sys.auditor()->auditAll(&err)) << err;
+}
+
+TEST(TokenA, AdaptiveUsesLessTrafficThanTokenBWhenStarved)
+{
+    auto traffic = [](ProtocolKind kind) {
+        SystemConfig cfg;
+        cfg.numNodes = 16;
+        cfg.topology = "torus";
+        cfg.protocol = kind;
+        cfg.workload = "uniform";
+        cfg.uniformBlocks = 256;
+        cfg.opsPerProcessor = 1200;
+        cfg.net.bytesPerNs = 0.4;
+        cfg.seed = 9;
+        System sys(cfg);
+        sys.run();
+        return sys.results().traffic.totalByteLinks();
+    };
+    EXPECT_LT(traffic(ProtocolKind::tokenA),
+              traffic(ProtocolKind::tokenB));
+}
+
+TEST(Extensions, AllTokenProtocolsAgreeOnValues)
+{
+    // The decoupling claim, executably: different performance
+    // protocols produce identical architectural outcomes for a
+    // deterministic request sequence.
+    auto final_value = [](ProtocolKind kind) {
+        ProtoDriver d(smallConfig(kind));
+        std::uint64_t v = 0;
+        for (int round = 0; round < 4; ++round) {
+            for (NodeId n = 0; n < 4; ++n) {
+                d.load(n, kBlock);
+                v = 0x100u * round + n;
+                d.store(n, kBlock, v);
+            }
+        }
+        d.drain();
+        d.expectConserved();
+        return d.load(0, kBlock).value;
+    };
+    const auto tb = final_value(ProtocolKind::tokenB);
+    const auto td = final_value(ProtocolKind::tokenD);
+    const auto tm = final_value(ProtocolKind::tokenM);
+    const auto ta = final_value(ProtocolKind::tokenA);
+    EXPECT_EQ(tb, td);
+    EXPECT_EQ(tb, tm);
+    EXPECT_EQ(tb, ta);
+    EXPECT_EQ(tb, 0x303u);
+}
+
+} // namespace
+} // namespace tokensim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Property tests of the decoupling claim itself (Section 4.1):
+ * "performance protocol bugs and various races may hurt performance,
+ * but they cannot affect correctness."
+ *
+ * The failure-injection knobs sabotage TokenB's performance protocol —
+ * dropping or misdirecting transient requests — while the random
+ * tester checks every load's value and audits token conservation
+ * every few hundred completions (conservation is an *at every
+ * instant* invariant, not just an end-state one). A parameterized
+ * grid also sweeps system sizes, token counts, and MLP windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/random_tester.hh"
+
+namespace tokensim {
+namespace {
+
+struct ChaosCase
+{
+    double drop;
+    double misdirect;
+    ProtocolKind protocol;
+    std::uint64_t seed;
+};
+
+class ChaosSoak : public ::testing::TestWithParam<ChaosCase>
+{
+};
+
+TEST_P(ChaosSoak, BuggyPerformanceProtocolCannotBreakCoherence)
+{
+    const ChaosCase &c = GetParam();
+    RandomTesterConfig cfg;
+    cfg.protocol = c.protocol;
+    cfg.numNodes = 8;
+    cfg.blocks = 4;
+    cfg.storeFraction = 0.5;
+    cfg.opsPerProcessor = 600;   // chaos makes progress slow
+    cfg.seed = c.seed;
+    cfg.chaosDropFraction = c.drop;
+    cfg.chaosMisdirectFraction = c.misdirect;
+    const RandomTesterResult r = runRandomTester(cfg);
+    EXPECT_TRUE(r.passed) << r.error;
+    if (c.drop + c.misdirect > 0.3) {
+        // Heavy sabotage must show up as reissues/persistent
+        // requests — the liveness machinery earning its keep.
+        EXPECT_GT(r.reissuedMisses + r.persistentMisses, 0u);
+    }
+}
+
+std::string
+chaosName(const ::testing::TestParamInfo<ChaosCase> &info)
+{
+    const ChaosCase &c = info.param;
+    return std::string(protocolName(c.protocol)) + "_drop" +
+        std::to_string(static_cast<int>(c.drop * 100)) + "_mis" +
+        std::to_string(static_cast<int>(c.misdirect * 100)) + "_s" +
+        std::to_string(c.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sabotage, ChaosSoak,
+    ::testing::Values(
+        ChaosCase{0.25, 0.0, ProtocolKind::tokenB, 1},
+        ChaosCase{0.50, 0.0, ProtocolKind::tokenB, 2},
+        ChaosCase{0.90, 0.0, ProtocolKind::tokenB, 3},
+        ChaosCase{0.0, 0.25, ProtocolKind::tokenB, 4},
+        ChaosCase{0.0, 0.75, ProtocolKind::tokenB, 5},
+        ChaosCase{0.30, 0.30, ProtocolKind::tokenB, 6},
+        ChaosCase{0.40, 0.0, ProtocolKind::tokenM, 7},
+        ChaosCase{0.40, 0.0, ProtocolKind::tokenD, 8}),
+    chaosName);
+
+struct GridCase
+{
+    int nodes;
+    int tokens;       // 0 = nodes
+    int outstanding;
+    const char *topology;
+    std::uint64_t seed;
+};
+
+class GridSoak : public ::testing::TestWithParam<GridCase>
+{
+};
+
+TEST_P(GridSoak, ConservationAndValuesAcrossTheGrid)
+{
+    const GridCase &g = GetParam();
+    RandomTesterConfig cfg;
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.topology = g.topology;
+    cfg.numNodes = g.nodes;
+    cfg.tokensPerBlock = g.tokens;
+    cfg.maxOutstanding = g.outstanding;
+    cfg.blocks = static_cast<std::uint64_t>(g.nodes);
+    cfg.opsPerProcessor = 800;
+    cfg.seed = g.seed;
+    cfg.auditEvery = 256;
+    const RandomTesterResult r = runRandomTester(cfg);
+    EXPECT_TRUE(r.passed) << r.error;
+}
+
+std::string
+gridName(const ::testing::TestParamInfo<GridCase> &info)
+{
+    const GridCase &g = info.param;
+    return std::string("n") + std::to_string(g.nodes) + "_t" +
+        std::to_string(g.tokens) + "_o" +
+        std::to_string(g.outstanding) + "_" + g.topology;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GridSoak,
+    ::testing::Values(
+        GridCase{2, 0, 1, "torus", 11},
+        GridCase{4, 0, 2, "torus", 12},
+        GridCase{4, 64, 4, "torus", 13},
+        GridCase{9, 0, 2, "torus", 14},    // 3x3: odd ring sizes
+        GridCase{16, 0, 4, "torus", 15},
+        GridCase{16, 31, 2, "tree", 16},   // prime-ish T on the tree
+        GridCase{32, 0, 2, "torus", 17},
+        GridCase{12, 0, 2, "torus", 18}),  // 4x3 rectangular
+    gridName);
+
+TEST(InvariantEdge, SingleNodeSystemDegenerates)
+{
+    // One processor, T = 1: every miss talks only to its own memory.
+    RandomTesterConfig cfg;
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.numNodes = 1;
+    cfg.blocks = 4;
+    cfg.opsPerProcessor = 500;
+    cfg.seed = 21;
+    const RandomTesterResult r = runRandomTester(cfg);
+    EXPECT_TRUE(r.passed) << r.error;
+}
+
+TEST(InvariantEdge, ChaosWithTinyTimeouts)
+{
+    // Aggressive reissue on top of sabotage: the worst realistic
+    // storm of redundant transient requests.
+    RandomTesterConfig cfg;
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.numNodes = 8;
+    cfg.blocks = 2;
+    cfg.storeFraction = 0.8;
+    cfg.opsPerProcessor = 400;
+    cfg.seed = 22;
+    cfg.chaosDropFraction = 0.5;
+    const RandomTesterResult r = runRandomTester(cfg);
+    EXPECT_TRUE(r.passed) << r.error;
+    EXPECT_GT(r.persistentMisses + r.reissuedMisses, 0u);
+}
+
+} // namespace
+} // namespace tokensim

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the sequencer processor model: budgets, L1 filtering and
+ * inclusion, same-block serialization, and think-time pacing — run on
+ * a real (TokenB) protocol stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "harness/system.hh"
+
+namespace tokensim {
+namespace {
+
+/** Workload replaying a fixed script. */
+class ScriptedWorkload : public Workload
+{
+  public:
+    explicit ScriptedWorkload(std::vector<WorkloadOp> script)
+        : script_(std::move(script))
+    {}
+
+    WorkloadOp
+    next() override
+    {
+        if (pos_ < script_.size())
+            return script_[pos_++];
+        // Pad with private-ish loads if over-asked.
+        WorkloadOp op;
+        op.addr = 0x10000 + 64 * (pos_++ % 8);
+        return op;
+    }
+
+    std::string name() const override { return "scripted"; }
+
+  private:
+    std::vector<WorkloadOp> script_;
+    std::size_t pos_ = 0;
+};
+
+SystemConfig
+seqConfig(std::vector<std::vector<WorkloadOp>> scripts,
+          std::uint64_t ops)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 4;
+    cfg.topology = "torus";
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.attachAuditor = true;
+    cfg.opsPerProcessor = ops;
+    auto shared = std::make_shared<
+        std::vector<std::vector<WorkloadOp>>>(std::move(scripts));
+    cfg.workloadFactory = [shared](NodeId node, int, std::uint64_t)
+        -> std::unique_ptr<Workload> {
+        if (node < shared->size())
+            return std::make_unique<ScriptedWorkload>((*shared)[node]);
+        return std::make_unique<ScriptedWorkload>(
+            std::vector<WorkloadOp>{});
+    };
+    return cfg;
+}
+
+TEST(Sequencer, CompletesExactBudget)
+{
+    SystemConfig cfg = seqConfig({}, 50);
+    System sys(cfg);
+    sys.run();
+    for (int n = 0; n < 4; ++n) {
+        EXPECT_EQ(sys.sequencer(static_cast<NodeId>(n))
+                      .stats().opsCompleted, 50u);
+        EXPECT_TRUE(sys.sequencer(static_cast<NodeId>(n)).done());
+    }
+}
+
+TEST(Sequencer, L1FiltersRepeatedLoads)
+{
+    // Node 0 loads the same block many times: first access misses
+    // everywhere, the rest hit the L1 and never reach the L2.
+    std::vector<WorkloadOp> script;
+    for (int i = 0; i < 20; ++i)
+        script.push_back(WorkloadOp{MemOp::load, 0x4000, false});
+    SystemConfig cfg = seqConfig({script}, 20);
+    System sys(cfg);
+    sys.run();
+    const SequencerStats &ss = sys.sequencer(0).stats();
+    EXPECT_EQ(ss.opsCompleted, 20u);
+    EXPECT_EQ(ss.l2Accesses, 1u);
+    EXPECT_EQ(ss.l1Hits, 19u);
+}
+
+TEST(Sequencer, L1DisabledSendsEverythingToL2)
+{
+    std::vector<WorkloadOp> script;
+    for (int i = 0; i < 10; ++i)
+        script.push_back(WorkloadOp{MemOp::load, 0x4000, false});
+    SystemConfig cfg = seqConfig({script}, 10);
+    cfg.seq.l1Enabled = false;
+    System sys(cfg);
+    sys.run();
+    EXPECT_EQ(sys.sequencer(0).stats().l2Accesses, 10u);
+    EXPECT_EQ(sys.sequencer(0).stats().l1Hits, 0u);
+}
+
+TEST(Sequencer, StoresWriteThroughToL2)
+{
+    std::vector<WorkloadOp> script;
+    script.push_back(WorkloadOp{MemOp::load, 0x4000, false});
+    for (int i = 0; i < 5; ++i)
+        script.push_back(WorkloadOp{MemOp::store, 0x4000, false});
+    SystemConfig cfg = seqConfig({script}, 6);
+    System sys(cfg);
+    sys.run();
+    // 1 load + 5 stores all reach the L2 (write-through L1).
+    EXPECT_EQ(sys.sequencer(0).stats().l2Accesses, 6u);
+}
+
+TEST(Sequencer, L1InclusionInvalidatedByRemoteStore)
+{
+    // Node 0 loads a block twice (the second would be an L1 hit); a
+    // remote store is injected between them, which must invalidate
+    // node 0's L1 copy so the second load goes back to the L2 and
+    // observes the new value.
+    std::vector<WorkloadOp> s0{
+        WorkloadOp{MemOp::load, 0x4000, false},
+        WorkloadOp{MemOp::load, 0x4000, false},
+    };
+    SystemConfig cfg = seqConfig({s0, {}}, 2);
+    // Space the two loads far apart so the injected store completes
+    // strictly between them.
+    cfg.seq.thinkMean = nsToTicks(100000);
+    System sys(cfg);
+    std::vector<ProcResponse> done0;
+    sys.sequencer(0).setObserver(
+        [&](NodeId, const ProcResponse &r) { done0.push_back(r); });
+
+    sys.sequencer(0).start();
+    ASSERT_TRUE(sys.eq().runUntil(
+        [&]() { return done0.size() >= 1; },
+        nsToTicks(10'000'000)));
+
+    // Inject node 1's store directly at its cache controller.
+    bool store_done = false;
+    sys.cache(1).setCompletionCallback(
+        [&](const ProcResponse &) { store_done = true; });
+    ProcRequest st;
+    st.op = MemOp::store;
+    st.addr = 0x4000;
+    st.storeValue = 0x7777;
+    st.reqId = 1;
+    sys.cache(1).request(st);
+    ASSERT_TRUE(sys.eq().runUntil([&]() { return store_done; },
+                                  nsToTicks(10'000'000)));
+
+    // Let node 0's second load run.
+    ASSERT_TRUE(sys.eq().runUntil(
+        [&]() { return done0.size() >= 2; },
+        nsToTicks(1'000'000'000)));
+    EXPECT_EQ(done0[1].value, 0x7777u);
+    // Both loads reached the L2: the L1 copy was invalidated.
+    EXPECT_EQ(sys.sequencer(0).stats().l2Accesses, 2u);
+    EXPECT_EQ(sys.sequencer(0).stats().l1Hits, 0u);
+}
+
+TEST(Sequencer, SameBlockOpsSerialize)
+{
+    // Two back-to-back stores to one block from one node: the
+    // second must wait for the first (no duplicate outstanding
+    // transactions — the protocols assert on this).
+    std::vector<WorkloadOp> script{
+        WorkloadOp{MemOp::store, 0x4000, false},
+        WorkloadOp{MemOp::store, 0x4000, false},
+        WorkloadOp{MemOp::store, 0x4000, false},
+    };
+    SystemConfig cfg = seqConfig({script}, 3);
+    cfg.seq.maxOutstanding = 4;
+    System sys(cfg);
+    sys.run();   // protocol asserts would fire on violation
+    EXPECT_EQ(sys.sequencer(0).stats().opsCompleted, 3u);
+}
+
+TEST(Sequencer, TransactionCounting)
+{
+    std::vector<WorkloadOp> script;
+    for (int i = 0; i < 12; ++i)
+        script.push_back(WorkloadOp{MemOp::load,
+                                    0x4000u + 64u * (i % 4),
+                                    (i % 3) == 2});
+    SystemConfig cfg = seqConfig({script}, 12);
+    System sys(cfg);
+    sys.run();
+    EXPECT_EQ(sys.sequencer(0).stats().transactions, 4u);
+}
+
+TEST(Sequencer, ObserverSeesL2Completions)
+{
+    std::vector<WorkloadOp> script{
+        WorkloadOp{MemOp::store, 0x4000, false},
+        WorkloadOp{MemOp::load, 0x4040, false},
+    };
+    SystemConfig cfg = seqConfig({script}, 2);
+    System sys(cfg);
+    int observed = 0;
+    sys.sequencer(0).setObserver(
+        [&](NodeId node, const ProcResponse &r) {
+            EXPECT_EQ(node, 0u);
+            EXPECT_TRUE(r.op == MemOp::store || r.op == MemOp::load);
+            ++observed;
+        });
+    sys.run();
+    EXPECT_EQ(observed, 2);
+}
+
+} // namespace
+} // namespace tokensim

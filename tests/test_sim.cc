@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, time
+ * conversions, the deterministic RNG, and the statistics utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tokensim {
+namespace {
+
+TEST(Types, TickConversions)
+{
+    EXPECT_EQ(nsToTicks(15), 150u);
+    EXPECT_EQ(ticksToNs(150), 15u);
+    EXPECT_DOUBLE_EQ(ticksToNsF(25), 2.5);
+    EXPECT_EQ(nsToTicks(0), 0u);
+}
+
+TEST(Types, BitHelpers)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(65));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() {
+        eq.scheduleIn(5, [&]() {
+            ++fired;
+            eq.scheduleIn(5, [&]() { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 11u);
+}
+
+TEST(EventQueue, MaxTickStopsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(100, [&]() { ++fired; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventAtExactlyMaxTickRuns)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(50, [&]() { ++fired; });
+    EXPECT_TRUE(eq.run(50));
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunUntilPredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        eq.schedule(static_cast<Tick>(i), [&]() { ++count; });
+    EXPECT_TRUE(eq.runUntil([&]() { return count == 4; }));
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.curTick(), 4u);
+}
+
+TEST(EventQueue, PastScheduleClampsToNow)
+{
+    EventQueue eq;
+    Tick seen = tickNever;
+    eq.schedule(100, [&]() {
+        // Scheduling "in the past" must not rewind time.
+        eq.schedule(5, [&]() { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++hits[rng.below(8)];
+    for (int h : hits) {
+        EXPECT_GT(h, 700);   // roughly uniform
+        EXPECT_LT(h, 1300);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsfraction)
+{
+    Rng rng(13);
+    int yes = 0;
+    for (int i = 0; i < 10000; ++i)
+        yes += rng.chance(0.25);
+    EXPECT_NEAR(yes / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(17);
+    double sum = 0;
+    const double p = 0.1;
+    for (int i = 0; i < 20000; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    EXPECT_NEAR(sum / 20000.0, 1.0 / p, 0.5);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(5);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += c1.next() == c2.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(RunningStat, MeanAndStddev)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Ewma, TracksRecentValues)
+{
+    Ewma e(0.5);
+    EXPECT_FALSE(e.primed());
+    e.add(100.0);
+    EXPECT_TRUE(e.primed());
+    EXPECT_DOUBLE_EQ(e.value(), 100.0);   // first sample primes
+    e.add(200.0);
+    EXPECT_DOUBLE_EQ(e.value(), 150.0);
+    e.add(200.0);
+    EXPECT_DOUBLE_EQ(e.value(), 175.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 4);
+    h.add(5.0);
+    h.add(15.0);
+    h.add(35.0);
+    h.add(1000.0);   // overflow bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.buckets()[4], 1u);
+}
+
+TEST(Strformat, FormatsLikePrintf)
+{
+    EXPECT_EQ(strformat("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(strformat("%04x", 0xab), "00ab");
+    EXPECT_EQ(strformat("%s", ""), "");
+}
+
+} // namespace
+} // namespace tokensim

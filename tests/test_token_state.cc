@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the token-counting state: the four invariants of
+ * Section 3.1, the MOESI mapping, the storage encoding (2 + log2 T
+ * bits), and the conservation auditor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/substrate.hh"
+#include "core/token_state.hh"
+
+namespace tokensim {
+namespace {
+
+TEST(TokenCount, InitialMemoryStateHoldsEverything)
+{
+    TokenCount tc = TokenCount::all(16);
+    EXPECT_EQ(tc.count, 16);
+    EXPECT_TRUE(tc.owner);
+    EXPECT_TRUE(tc.valid);
+    EXPECT_TRUE(tc.sane(16));
+    EXPECT_TRUE(tc.canRead());
+    EXPECT_TRUE(tc.canWrite(16));
+    EXPECT_EQ(tc.moesi(16), TokenMoesi::modified);
+}
+
+TEST(TokenCount, MoesiMapping)
+{
+    // Paper: all T tokens = M; owner but not all = O; 1..T-1 without
+    // owner = S; none = I.
+    EXPECT_EQ((TokenCount{0, false, false}).moesi(4), TokenMoesi::invalid);
+    EXPECT_EQ((TokenCount{1, false, true}).moesi(4), TokenMoesi::shared);
+    EXPECT_EQ((TokenCount{2, true, true}).moesi(4), TokenMoesi::owned);
+    EXPECT_EQ((TokenCount{4, true, true}).moesi(4), TokenMoesi::modified);
+}
+
+TEST(TokenCount, Invariant2WriteNeedsAllTokens)
+{
+    TokenCount tc{3, true, true};
+    EXPECT_FALSE(tc.canWrite(4));
+    tc.absorb(1, false, false);
+    EXPECT_TRUE(tc.canWrite(4));
+}
+
+TEST(TokenCount, Invariant3ReadNeedsTokenAndValidData)
+{
+    TokenCount tc;
+    EXPECT_FALSE(tc.canRead());
+    // A dataless token message gives a token but no readable data.
+    tc.absorb(1, false, false);
+    EXPECT_EQ(tc.count, 1);
+    EXPECT_FALSE(tc.canRead());
+    // Data arriving with a token sets the valid bit.
+    tc.absorb(1, false, true);
+    EXPECT_TRUE(tc.canRead());
+}
+
+TEST(TokenCount, ReleaseClearsValidAtZero)
+{
+    TokenCount tc{2, false, true};
+    tc.release(1, false);
+    EXPECT_TRUE(tc.valid);
+    tc.release(1, false);
+    EXPECT_EQ(tc.count, 0);
+    EXPECT_FALSE(tc.valid);
+}
+
+TEST(TokenCount, OwnerTracking)
+{
+    TokenCount tc{3, true, true};
+    tc.release(2, true);   // owner leaves with one other token
+    EXPECT_FALSE(tc.owner);
+    EXPECT_EQ(tc.count, 1);
+    tc.absorb(2, true, true);
+    EXPECT_TRUE(tc.owner);
+    EXPECT_EQ(tc.count, 3);
+}
+
+TEST(TokenCount, SanityBounds)
+{
+    EXPECT_FALSE((TokenCount{5, false, false}).sane(4));   // > T
+    EXPECT_FALSE((TokenCount{0, true, false}).sane(4));    // owner w/o token
+    EXPECT_FALSE((TokenCount{0, false, true}).sane(4));    // valid w/o token
+    EXPECT_TRUE((TokenCount{0, false, false}).sane(4));
+}
+
+TEST(TokenCoding, BitsMatchPaperFormula)
+{
+    // valid + owner + ceil(log2 T) bits of non-owner count.
+    EXPECT_EQ(TokenCoding(16).bits(), 2 + 4);
+    EXPECT_EQ(TokenCoding(64).bits(), 2 + 6);
+    EXPECT_EQ(TokenCoding(17).bits(), 2 + 5);
+    EXPECT_EQ(TokenCoding(1).bits(), 2);
+}
+
+TEST(TokenCoding, PaperOverheadExample)
+{
+    // "encoding 64 tokens with 64-byte blocks adds one byte of
+    // storage (1.6% overhead)".
+    TokenCoding c(64);
+    EXPECT_LE(c.bits(), 8);
+    EXPECT_NEAR(c.overhead(64), 0.0156, 0.002);
+}
+
+TEST(TokenCoding, EncodeDecodeRoundTrips)
+{
+    for (int t : {1, 2, 4, 16, 17, 64}) {
+        TokenCoding c(t);
+        for (int count = 0; count <= t; ++count) {
+            for (int owner = 0; owner <= 1; ++owner) {
+                for (int valid = 0; valid <= 1; ++valid) {
+                    TokenCount tc{count, owner == 1, valid == 1};
+                    if (!tc.sane(t))
+                        continue;
+                    // Only encodable holdings: non-owner count < T.
+                    if (tc.count - (tc.owner ? 1 : 0) > t - 1)
+                        continue;
+                    const TokenCount back = c.decode(c.encode(tc));
+                    EXPECT_EQ(back.count, tc.count);
+                    EXPECT_EQ(back.owner, tc.owner);
+                    EXPECT_EQ(back.valid, tc.valid);
+                }
+            }
+        }
+    }
+}
+
+TEST(MakeTokenMsg, CarriesFields)
+{
+    Message m = makeTokenMsg(0x1000, 2, 5, Unit::cache, 3, true, true,
+                             0xfeed, MsgClass::data);
+    EXPECT_EQ(m.type, MsgType::tokenTransfer);
+    EXPECT_EQ(m.addr, 0x1000u);
+    EXPECT_EQ(m.src, 2u);
+    EXPECT_EQ(m.dest, 5u);
+    EXPECT_EQ(m.tokens, 3);
+    EXPECT_TRUE(m.ownerToken);
+    EXPECT_TRUE(m.hasData);
+    EXPECT_EQ(m.data, 0xfeedu);
+}
+
+#ifndef NDEBUG
+TEST(MakeTokenMsgDeathTest, Invariant4OwnerRequiresData)
+{
+    // Invariant #4': a message with the owner token must carry data.
+    EXPECT_DEATH(makeTokenMsg(0x1000, 0, 1, Unit::cache, 1, true,
+                              false, 0, MsgClass::nonData),
+                 "invariant #4'");
+}
+#endif
+
+// ---------------------------------------------------------------------
+// TokenAuditor
+// ---------------------------------------------------------------------
+
+class FakeHolder : public TokenHolder
+{
+  public:
+    explicit FakeHolder(std::string name) : name_(std::move(name)) {}
+
+    int
+    tokensHeld(Addr a) const override
+    {
+        auto it = held.find(a);
+        return it == held.end() ? 0 : it->second;
+    }
+
+    bool
+    ownerHeld(Addr a) const override
+    {
+        return owner.count(a) > 0;
+    }
+
+    std::string holderName() const override { return name_; }
+
+    std::unordered_map<Addr, int> held;
+    std::set<Addr> owner;
+
+  private:
+    std::string name_;
+};
+
+TEST(TokenAuditor, ConservedWhenAllTokensAtOneHolder)
+{
+    TokenAuditor aud(16, 64);
+    FakeHolder mem("memory");
+    mem.held[0x0] = 16;
+    mem.owner.insert(0x0);
+    aud.addHolder(&mem);
+    aud.touch(0x0);
+    std::string err;
+    EXPECT_TRUE(aud.auditAll(&err)) << err;
+}
+
+TEST(TokenAuditor, DetectsLostTokens)
+{
+    TokenAuditor aud(16, 64);
+    FakeHolder mem("memory");
+    mem.held[0x0] = 15;   // one token vanished
+    mem.owner.insert(0x0);
+    aud.addHolder(&mem);
+    aud.touch(0x0);
+    std::string err;
+    EXPECT_FALSE(aud.auditAll(&err));
+    EXPECT_NE(err.find("15"), std::string::npos);
+}
+
+TEST(TokenAuditor, CountsInFlightTokens)
+{
+    TokenAuditor aud(16, 64);
+    FakeHolder mem("memory");
+    mem.held[0x0] = 12;
+    mem.owner.insert(0x0);
+    aud.addHolder(&mem);
+
+    Message m = makeTokenMsg(0x0, 0, 1, Unit::cache, 4, false, false,
+                             0, MsgClass::nonData);
+    aud.onSend(m);
+    EXPECT_EQ(aud.inFlight(0x0), 4);
+    EXPECT_TRUE(aud.auditBlock(0x0));
+
+    // Delivery: the tokens land at a cache.
+    aud.onReceive(m);
+    FakeHolder cache("cache.1");
+    cache.held[0x0] = 4;
+    aud.addHolder(&cache);
+    EXPECT_TRUE(aud.auditBlock(0x0));
+}
+
+TEST(TokenAuditor, DetectsDuplicatedOwner)
+{
+    TokenAuditor aud(4, 64);
+    FakeHolder a("a"), b("b");
+    a.held[0x40] = 2;
+    a.owner.insert(0x40);
+    b.held[0x40] = 2;
+    b.owner.insert(0x40);   // two owners: safety violation
+    aud.addHolder(&a);
+    aud.addHolder(&b);
+    aud.touch(0x40);
+    std::string err;
+    EXPECT_FALSE(aud.auditAll(&err));
+    EXPECT_NE(err.find("owner"), std::string::npos);
+}
+
+TEST(TokenAuditor, SubBlockAddressesAlias)
+{
+    TokenAuditor aud(4, 64);
+    FakeHolder mem("memory");
+    mem.held[0x40] = 4;
+    mem.owner.insert(0x40);
+    aud.addHolder(&mem);
+    aud.touch(0x57);   // same block
+    EXPECT_TRUE(aud.auditAll());
+    EXPECT_EQ(aud.touchedBlocks().size(), 1u);
+}
+
+} // namespace
+} // namespace tokensim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the tree and torus topologies: route lengths,
+ * Figure 1's latency claims (four crossings on the tree, two on
+ * average for the 4x4 torus), broadcast-tree structure, and multicast
+ * pruning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "net/topology.hh"
+
+namespace tokensim {
+namespace {
+
+TEST(TreeTopology, EveryUnicastIsFourCrossings)
+{
+    TreeTopology t(16, 4);
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(t.hops(s, d), 4) << "s=" << s << " d=" << d;
+        }
+    }
+    EXPECT_DOUBLE_EQ(t.averageHops(), 4.0);
+}
+
+TEST(TreeTopology, SwitchCount)
+{
+    // 16 procs, fan-out 4: 4 in-switches + root + 4 out-switches.
+    TreeTopology t(16, 4);
+    EXPECT_EQ(t.numNodes(), 16);
+    EXPECT_EQ(t.numVertices(), 16 + 9);
+    EXPECT_TRUE(t.totallyOrdered());
+    EXPECT_GE(t.rootVertex(), 16);
+}
+
+TEST(TreeTopology, RouteClimbsThroughRoot)
+{
+    TreeTopology t(16, 4);
+    const auto &r = t.route(0, 15);
+    ASSERT_EQ(r.size(), 4u);
+    // Second link must end at the root.
+    EXPECT_EQ(t.links()[r[1]].to, t.rootVertex());
+    EXPECT_EQ(t.links()[r[2]].from, t.rootVertex());
+}
+
+TEST(TreeTopology, DownTreeReachesEveryNode)
+{
+    TreeTopology t(16, 4);
+    std::set<int> reached;
+    for (const TreeEdge &e : t.downTree()) {
+        if (e.to < t.numNodes())
+            reached.insert(e.to);
+    }
+    EXPECT_EQ(reached.size(), 16u);
+    // 4 root->out links + 16 out->proc links.
+    EXPECT_EQ(t.downTree().size(), 20u);
+}
+
+TEST(TreeTopology, RouteToRootMatchesPrefix)
+{
+    TreeTopology t(16, 4);
+    for (NodeId s = 0; s < 16; ++s) {
+        const auto &up = t.routeToRoot(s);
+        ASSERT_EQ(up.size(), 2u);
+        EXPECT_EQ(t.links()[up[1]].to, t.rootVertex());
+        // The up-path is the prefix of any unicast route.
+        const auto &r = t.route(s, (s + 1) % 16);
+        EXPECT_EQ(r[0], up[0]);
+        EXPECT_EQ(r[1], up[1]);
+    }
+}
+
+TEST(TreeTopology, OddNodeCounts)
+{
+    TreeTopology t(6, 4);   // two groups
+    EXPECT_EQ(t.numVertices(), 6 + 2 * 2 + 1);
+    for (NodeId s = 0; s < 6; ++s) {
+        for (NodeId d = 0; d < 6; ++d) {
+            if (s != d) {
+                EXPECT_EQ(t.hops(s, d), 4);
+            }
+        }
+    }
+}
+
+TEST(TorusTopology, AverageHopsMatchesFigure1)
+{
+    // Figure 1b: the 4x4 torus averages two link crossings.
+    TorusTopology t(4, 4);
+    EXPECT_FALSE(t.totallyOrdered());
+    // Distances in a 4-ring: 0,1,2,1 -> mean over x and y offsets
+    // excluding (0,0): (sum over all 16 pairs of dx+dy) / 15.
+    // sum_dx over 4 values = 4, so total = 4*4 + 4*4 = 32; 32/15.
+    EXPECT_NEAR(t.averageHops(), 32.0 / 15.0, 1e-9);
+}
+
+TEST(TorusTopology, HopsAreShortestWrapDistance)
+{
+    TorusTopology t(4, 4);
+    // Node 0 = (0,0); node 3 = (3,0) is one wrap-hop away.
+    EXPECT_EQ(t.hops(0, 3), 1);
+    // (2,2) from (0,0): 2 + 2.
+    EXPECT_EQ(t.hops(0, 10), 4);
+    // Symmetry.
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            if (s != d) {
+                EXPECT_EQ(t.hops(s, d), t.hops(d, s));
+            }
+        }
+    }
+}
+
+TEST(TorusTopology, LinkCount)
+{
+    // 4x4 bidirectional torus: 4 directed links per node.
+    TorusTopology t(4, 4);
+    EXPECT_EQ(t.links().size(), 16u * 4u);
+}
+
+TEST(TorusTopology, BroadcastTreeSpansAllNodesOnce)
+{
+    TorusTopology t(4, 4);
+    for (NodeId s = 0; s < 16; ++s) {
+        const auto &edges = t.broadcastTree(s);
+        // A spanning tree reaching 15 other nodes uses exactly 15
+        // links (each link carries one copy - bandwidth-efficient
+        // multicast).
+        EXPECT_EQ(edges.size(), 15u);
+        std::set<int> reached;
+        std::set<int> visited{static_cast<int>(s)};
+        for (const TreeEdge &e : edges) {
+            // Forward order: parent reached before child.
+            EXPECT_TRUE(visited.count(e.from));
+            visited.insert(e.to);
+            EXPECT_FALSE(reached.count(e.to)) << "duplicate delivery";
+            reached.insert(e.to);
+        }
+        EXPECT_EQ(reached.size(), 15u);
+    }
+}
+
+TEST(TorusTopology, MulticastTreePrunes)
+{
+    TorusTopology t(4, 4);
+    const std::vector<NodeId> dests{1, 2};
+    const auto edges = t.multicastTree(0, dests);
+    // Destinations 1=(1,0) and 2=(2,0) share the first row link.
+    EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(TorusTopology, MulticastToAllEqualsBroadcast)
+{
+    TorusTopology t(4, 4);
+    std::vector<NodeId> all;
+    for (NodeId n = 0; n < 16; ++n)
+        all.push_back(n);
+    EXPECT_EQ(t.multicastTree(3, all).size(),
+              t.broadcastTree(3).size());
+}
+
+TEST(TorusTopology, RectangularShapes)
+{
+    TorusTopology t(4, 2);   // 8 nodes
+    EXPECT_EQ(t.numNodes(), 8);
+    for (NodeId s = 0; s < 8; ++s)
+        EXPECT_EQ(t.broadcastTree(s).size(), 7u);
+}
+
+TEST(TorusTopology, MakeSquareFactorsNodeCount)
+{
+    std::unique_ptr<TorusTopology> t4(TorusTopology::makeSquare(4));
+    EXPECT_EQ(t4->kx() * t4->ky(), 4);
+    std::unique_ptr<TorusTopology> t8(TorusTopology::makeSquare(8));
+    EXPECT_EQ(t8->kx() * t8->ky(), 8);
+    std::unique_ptr<TorusTopology> t64(TorusTopology::makeSquare(64));
+    EXPECT_EQ(t64->kx(), 8);
+    EXPECT_EQ(t64->ky(), 8);
+}
+
+TEST(TorusTopology, BroadcastCostGrowsLinearlyUnicastAsSqrtN)
+{
+    // Footnote 4 / Question 5: broadcast cost on a torus is Theta(n)
+    // link crossings while unicast grows as Theta(sqrt n) - the root
+    // of TokenB's bandwidth scaling limit.
+    std::unique_ptr<TorusTopology> small(TorusTopology::makeSquare(16));
+    std::unique_ptr<TorusTopology> big(TorusTopology::makeSquare(64));
+    EXPECT_EQ(small->broadcastTree(0).size(), 15u);
+    EXPECT_EQ(big->broadcastTree(0).size(), 63u);
+    EXPECT_NEAR(big->averageHops() / small->averageHops(), 2.0, 0.15);
+}
+
+TEST(TopologyFactory, ByName)
+{
+    std::unique_ptr<Topology> tree(makeTopology("tree", 16));
+    EXPECT_TRUE(tree->totallyOrdered());
+    std::unique_ptr<Topology> torus(makeTopology("torus", 16));
+    EXPECT_FALSE(torus->totallyOrdered());
+    EXPECT_THROW(makeTopology("ring", 16), std::invalid_argument);
+}
+
+} // namespace
+} // namespace tokensim

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the workload generators: Zipf sampling, preset
+ * sanity, migratory pairing, producer-consumer roles, transaction
+ * cadence, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/commercial.hh"
+#include "workload/workload.hh"
+
+namespace tokensim {
+namespace {
+
+TEST(Zipf, UniformWhenThetaZero)
+{
+    ZipfSampler z(10, 0.0);
+    Rng rng(1);
+    std::vector<int> hits(10, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++hits[z.sample(rng)];
+    for (int h : hits) {
+        EXPECT_GT(h, 1600);
+        EXPECT_LT(h, 2400);
+    }
+}
+
+TEST(Zipf, SkewsTowardLowIndices)
+{
+    ZipfSampler z(1000, 0.9);
+    Rng rng(2);
+    int first_decile = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i)
+        first_decile += z.sample(rng) < 100;
+    // With theta=0.9, far more than 10% of probability mass is in
+    // the first 10% of items.
+    EXPECT_GT(first_decile, samples / 3);
+}
+
+TEST(Zipf, StaysInRange)
+{
+    ZipfSampler z(7, 0.5);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(z.sample(rng), 7u);
+}
+
+TEST(CommercialParams, PresetFractionsSumToOne)
+{
+    for (const char *name : {"oltp", "apache", "specjbb"}) {
+        const CommercialParams p = CommercialParams::preset(name);
+        EXPECT_NEAR(p.fracPrivateHot + p.fracPrivateCold +
+                        p.fracSharedRead + p.fracMigratory +
+                        p.fracProdCons,
+                    1.0, 1e-9)
+            << name;
+    }
+    EXPECT_THROW(CommercialParams::preset("tpc-h"),
+                 std::invalid_argument);
+}
+
+TEST(CommercialParams, OltpIsMostMigratory)
+{
+    // OLTP's lock-dominated behavior is the paper's motivating
+    // pattern; the preset must reflect it.
+    EXPECT_GT(CommercialParams::oltp().fracMigratory,
+              CommercialParams::apache().fracMigratory);
+    EXPECT_GT(CommercialParams::oltp().fracMigratory,
+              CommercialParams::specjbb().fracMigratory);
+    // SPECjbb shares least.
+    EXPECT_GT(CommercialParams::specjbb().fracPrivateHot,
+              CommercialParams::oltp().fracPrivateHot);
+}
+
+TEST(CommercialWorkload, MigratorySectionsPairLoadAndStore)
+{
+    AddressMap map;
+    CommercialParams p = CommercialParams::oltp();
+    CommercialWorkload w(0, 4, map, p, 42);
+    const Addr mig_base = map.migratoryBase(4);
+    const Addr mig_end = mig_base + map.migratoryBlocks * 64;
+    int pairs = 0;
+    WorkloadOp prev{};
+    bool have_prev = false;
+    for (int i = 0; i < 20000; ++i) {
+        const WorkloadOp op = w.next();
+        if (have_prev && prev.op == MemOp::load &&
+            prev.addr >= mig_base && prev.addr < mig_end) {
+            // A migratory load is immediately followed by a store to
+            // the same address (the lock/counter RMW pattern).
+            EXPECT_EQ(op.op, MemOp::store);
+            EXPECT_EQ(op.addr, prev.addr);
+            ++pairs;
+        }
+        prev = op;
+        have_prev = true;
+    }
+    EXPECT_GT(pairs, 1000);   // OLTP is migratory-heavy
+}
+
+TEST(CommercialWorkload, ProducerConsumerRolesAreStatic)
+{
+    AddressMap map;
+    CommercialParams p = CommercialParams::apache();
+    const Addr pc_base = map.prodConsBase(4);
+    const Addr pc_end = pc_base + map.prodConsBlocks * 64;
+
+    // Collect per-address op kinds from two different nodes; an
+    // address written by node A must never be written by node B.
+    std::map<Addr, int> writer_count;
+    for (NodeId node = 0; node < 4; ++node) {
+        CommercialWorkload w(node, 4, map, p, 100 + node);
+        std::map<Addr, bool> wrote;
+        for (int i = 0; i < 30000; ++i) {
+            const WorkloadOp op = w.next();
+            if (op.addr >= pc_base && op.addr < pc_end &&
+                op.op == MemOp::store && !wrote[op.addr]) {
+                wrote[op.addr] = true;
+                ++writer_count[op.addr];
+            }
+        }
+    }
+    for (const auto &[addr, writers] : writer_count)
+        EXPECT_EQ(writers, 1) << std::hex << addr;
+}
+
+TEST(CommercialWorkload, PrivateAccessesStayInOwnRegion)
+{
+    AddressMap map;
+    CommercialParams p = CommercialParams::specjbb();
+    CommercialWorkload w(2, 4, map, p, 7);
+    const Addr own_base = map.privateBase(2);
+    const Addr own_end = own_base + map.privateBlocksPerNode * 64;
+    const Addr shared_start = map.sharedBase(4);
+    for (int i = 0; i < 10000; ++i) {
+        const WorkloadOp op = w.next();
+        const bool in_own = op.addr >= own_base && op.addr < own_end;
+        const bool in_shared = op.addr >= shared_start;
+        EXPECT_TRUE(in_own || in_shared)
+            << "op touched another node's private region: "
+            << std::hex << op.addr;
+    }
+}
+
+TEST(CommercialWorkload, TransactionCadence)
+{
+    AddressMap map;
+    CommercialParams p = CommercialParams::oltp();
+    p.opsPerTransaction = 10;
+    CommercialWorkload w(0, 4, map, p, 5);
+    int count = 0;
+    int transactions = 0;
+    for (int i = 0; i < 1000; ++i) {
+        ++count;
+        if (w.next().endsTransaction) {
+            EXPECT_EQ(count % 10, 0);
+            ++transactions;
+        }
+    }
+    EXPECT_EQ(transactions, 100);
+}
+
+TEST(CommercialWorkload, DeterministicPerSeed)
+{
+    AddressMap map;
+    CommercialParams p = CommercialParams::apache();
+    CommercialWorkload a(1, 4, map, p, 99);
+    CommercialWorkload b(1, 4, map, p, 99);
+    for (int i = 0; i < 1000; ++i) {
+        const WorkloadOp x = a.next();
+        const WorkloadOp y = b.next();
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.op, y.op);
+    }
+}
+
+TEST(MicroWorkloads, UniformSharedHitsWholeRange)
+{
+    UniformSharedWorkload w(16, 0.5, 64, 3);
+    std::set<Addr> seen;
+    int stores = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const WorkloadOp op = w.next();
+        seen.insert(op.addr);
+        stores += op.op == MemOp::store;
+    }
+    EXPECT_EQ(seen.size(), 16u);
+    EXPECT_NEAR(stores / 4000.0, 0.5, 0.05);
+}
+
+TEST(MicroWorkloads, HotBlockAlwaysSameAddress)
+{
+    HotBlockWorkload w(0x1000, 1.0, 4);
+    for (int i = 0; i < 100; ++i) {
+        const WorkloadOp op = w.next();
+        EXPECT_EQ(op.addr, 0x1000u);
+        EXPECT_EQ(op.op, MemOp::store);
+    }
+}
+
+TEST(MicroWorkloads, PrivateRegionsDisjointAcrossNodes)
+{
+    AddressMap map;
+    PrivateWorkload w0(0, map, 1024, 0.3, 1);
+    PrivateWorkload w1(1, map, 1024, 0.3, 2);
+    std::set<Addr> a0, a1;
+    for (int i = 0; i < 2000; ++i) {
+        a0.insert(w0.next().addr);
+        a1.insert(w1.next().addr);
+    }
+    for (Addr a : a0)
+        EXPECT_FALSE(a1.count(a));
+}
+
+} // namespace
+} // namespace tokensim
