@@ -33,16 +33,33 @@ main()
     std::printf("  (paper: 64 tokens with 64-byte blocks adds one "
                 "byte, 1.6%% overhead)\n");
 
+    // Both sweeps below go through the ParallelRunner in one shot.
+    const int tokenCounts[] = {16, 32, 64};
+    const ProtocolKind spectrum[] = {ProtocolKind::tokenB,
+                                     ProtocolKind::tokenM,
+                                     ProtocolKind::tokenA,
+                                     ProtocolKind::tokenD};
+    std::vector<ExperimentSpec> specs;
+    for (int t : tokenCounts) {
+        SystemConfig cfg =
+            bench::paperConfig(ProtocolKind::tokenB, "torus", "oltp");
+        cfg.proto.tokensPerBlock = t;
+        specs.push_back(ExperimentSpec{cfg, bench::benchSeeds(), "T"});
+    }
+    for (ProtocolKind proto : spectrum) {
+        SystemConfig cfg = bench::paperConfig(proto, "torus", "oltp");
+        specs.push_back(ExperimentSpec{cfg, bench::benchSeeds(),
+                                       protocolName(proto)});
+    }
+    const std::vector<ExperimentResult> results = bench::runAll(specs);
+
     bench::header("Sensitivity to tokens per block "
                   "(TokenB, OLTP, 16 procs)");
     std::printf("  %8s %14s %10s %12s\n", "T", "cycles/txn", "misses",
                 "reissued%");
-    for (int t : {16, 32, 64}) {
-        SystemConfig cfg =
-            bench::paperConfig(ProtocolKind::tokenB, "torus", "oltp");
-        cfg.proto.tokensPerBlock = t;
-        const ExperimentResult r =
-            runExperiment(cfg, bench::benchSeeds(), "T");
+    std::size_t at = 0;
+    for (int t : tokenCounts) {
+        const ExperimentResult &r = results[at++];
         std::printf("  %8d %14.1f %10llu %11.2f%%\n", t,
                     r.cyclesPerTransaction,
                     static_cast<unsigned long long>(r.misses),
@@ -53,13 +70,8 @@ main()
                   "(OLTP, 16 procs, torus)");
     std::printf("  %-8s %14s %14s %14s %12s\n", "proto", "cycles/txn",
                 "req bytes/miss", "tot bytes/miss", "persist%");
-    for (ProtocolKind proto : {ProtocolKind::tokenB,
-                               ProtocolKind::tokenM,
-                               ProtocolKind::tokenA,
-                               ProtocolKind::tokenD}) {
-        SystemConfig cfg = bench::paperConfig(proto, "torus", "oltp");
-        const ExperimentResult r = runExperiment(
-            cfg, bench::benchSeeds(), protocolName(proto));
+    for (ProtocolKind proto : spectrum) {
+        const ExperimentResult &r = results[at++];
         const double req =
             r.bytesPerMissByClass[static_cast<int>(
                 MsgClass::request)] +

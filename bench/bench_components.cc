@@ -10,8 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "harness/experiment.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/system.hh"
 #include "mem/cache.hh"
 #include "net/network.hh"
@@ -131,6 +136,131 @@ BM_ZipfSample(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfSample);
+
+void
+BM_EventQueueFarHorizon(benchmark::State &state)
+{
+    // Far-future scheduling exercises the overflow heap and the
+    // migrate-on-advance path of the bucketed queue (reissue timers
+    // land thousands of ticks out).
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1000; ++i) {
+            eq.schedule(static_cast<Tick>((i * 9173) % 100000),
+                        [&sink]() { ++sink; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueFarHorizon);
+
+/**
+ * The full experiment config matrix — protocol x topology x processor
+ * count x token count — that the runner benchmarks below shard. Small
+ * per-shard op counts keep one pass in benchmark territory; scale via
+ * TOKENSIM_BENCH_OPS-style env in the paper-figure benches instead.
+ */
+std::vector<ExperimentSpec>
+runnerMatrix()
+{
+    std::vector<ExperimentSpec> specs;
+    const ProtocolKind protos[] = {
+        ProtocolKind::tokenB,  ProtocolKind::tokenD,
+        ProtocolKind::tokenM,  ProtocolKind::snooping,
+        ProtocolKind::directory, ProtocolKind::hammer,
+    };
+    for (ProtocolKind proto : protos) {
+        for (const char *topo : {"torus", "tree"}) {
+            // Traditional snooping needs the tree's total order.
+            if (proto == ProtocolKind::snooping &&
+                std::strcmp(topo, "torus") == 0)
+                continue;
+            for (int nodes : {4, 16}) {
+                const int tokenCounts[] = {0, 2 * nodes};
+                const int numTokenCounts =
+                    isTokenProtocol(proto) ? 2 : 1;
+                for (int ti = 0; ti < numTokenCounts; ++ti) {
+                    SystemConfig cfg;
+                    cfg.numNodes = nodes;
+                    cfg.topology = topo;
+                    cfg.protocol = proto;
+                    cfg.workload = "uniform";
+                    cfg.uniformBlocks =
+                        64 * static_cast<std::uint64_t>(nodes);
+                    cfg.proto.tokensPerBlock = tokenCounts[ti];
+                    cfg.opsPerProcessor = 400;
+                    cfg.seed = 13;
+                    specs.push_back(ExperimentSpec{
+                        cfg, 1,
+                        std::string(protocolName(proto)) + "/" + topo});
+                }
+            }
+        }
+    }
+    return specs;
+}
+
+/** Serial reference: the same matrix through runExperiment(). */
+const std::vector<ExperimentResult> &
+serialReference()
+{
+    static const std::vector<ExperimentResult> ref = []() {
+        std::vector<ExperimentResult> out;
+        for (const ExperimentSpec &s : runnerMatrix())
+            out.push_back(runExperiment(s.cfg, s.seeds, s.label));
+        return out;
+    }();
+    return ref;
+}
+
+void
+BM_RunnerMatrixSerial(benchmark::State &state)
+{
+    const std::vector<ExperimentSpec> specs = runnerMatrix();
+    for (auto _ : state) {
+        ParallelRunner runner(ParallelRunnerOptions{1});
+        benchmark::DoNotOptimize(runner.run(specs));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(specs.size()));
+}
+BENCHMARK(BM_RunnerMatrixSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunnerMatrixParallel(benchmark::State &state)
+{
+    const std::vector<ExperimentSpec> specs = runnerMatrix();
+    ParallelRunner runner;   // TOKENSIM_THREADS or all cores
+
+    // Correctness gate, checked once: parallel sharding must produce
+    // stats bit-identical to the serial runExperiment() loop.
+    static bool verified = false;
+    if (!verified) {
+        const std::vector<ExperimentResult> par = runner.run(specs);
+        const std::vector<ExperimentResult> &ser = serialReference();
+        for (std::size_t i = 0; i < par.size(); ++i) {
+            if (!identicalResults(par[i], ser[i])) {
+                state.SkipWithError(
+                    ("parallel/serial stats diverge at spec " +
+                     std::to_string(i) + " (" + par[i].label + ")")
+                        .c_str());
+                return;
+            }
+        }
+        verified = true;
+    }
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(specs));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(specs.size()));
+    state.counters["threads"] =
+        static_cast<double>(runner.threads());
+}
+BENCHMARK(BM_RunnerMatrixParallel)->Unit(benchmark::kMillisecond);
 
 void
 BM_EndToEndSimulatedOps(benchmark::State &state)

@@ -28,35 +28,57 @@ main()
     const char *workloads[] = {"apache", "oltp", "specjbb"};
     const int seeds = bench::benchSeeds();
 
-    bench::header("Figure 4a: runtime, snooping v. token coherence "
-                  "(normalized cycles/transaction; lower is better)");
+    struct Point
+    {
+        const char *label;
+        ProtocolKind proto;
+        const char *topo;
+        bool unlimited;
+    };
+    const Point points[] = {
+        {"TokenB - tree", ProtocolKind::tokenB, "tree", false},
+        {"TokenB - tree (inf bw)", ProtocolKind::tokenB, "tree",
+         true},
+        {"Snooping - tree", ProtocolKind::snooping, "tree", false},
+        {"Snooping - tree (inf bw)", ProtocolKind::snooping,
+         "tree", true},
+        {"TokenB - torus", ProtocolKind::tokenB, "torus", false},
+        {"TokenB - torus (inf bw)", ProtocolKind::tokenB, "torus",
+         true},
+    };
+    constexpr std::size_t numPoints = sizeof(points) / sizeof(points[0]);
 
+    // Build the whole figure — 4a's runtime bars and 4b's traffic
+    // table — as one spec list and sweep it in a single parallel
+    // invocation.
+    std::vector<ExperimentSpec> specs;
     for (const char *w : workloads) {
-        std::printf("\n%s:\n", w);
-        struct Point
-        {
-            const char *label;
-            ProtocolKind proto;
-            const char *topo;
-            bool unlimited;
-        };
-        const Point points[] = {
-            {"TokenB - tree", ProtocolKind::tokenB, "tree", false},
-            {"TokenB - tree (inf bw)", ProtocolKind::tokenB, "tree",
-             true},
-            {"Snooping - tree", ProtocolKind::snooping, "tree", false},
-            {"Snooping - tree (inf bw)", ProtocolKind::snooping,
-             "tree", true},
-            {"TokenB - torus", ProtocolKind::tokenB, "torus", false},
-            {"TokenB - torus (inf bw)", ProtocolKind::tokenB, "torus",
-             true},
-        };
-        double norm = 0;
         for (const Point &p : points) {
             SystemConfig cfg = bench::paperConfig(p.proto, p.topo, w);
             cfg.net.unlimitedBandwidth = p.unlimited;
-            const ExperimentResult r =
-                runExperiment(cfg, seeds, p.label);
+            specs.push_back(ExperimentSpec{cfg, seeds, p.label});
+        }
+    }
+    const std::size_t trafficBase = specs.size();
+    for (const char *w : workloads) {
+        for (ProtocolKind proto : {ProtocolKind::tokenB,
+                                   ProtocolKind::snooping}) {
+            SystemConfig cfg = bench::paperConfig(proto, "tree", w);
+            specs.push_back(ExperimentSpec{cfg, seeds, w});
+        }
+    }
+    const std::vector<ExperimentResult> results = bench::runAll(specs);
+
+    bench::header("Figure 4a: runtime, snooping v. token coherence "
+                  "(normalized cycles/transaction; lower is better)");
+
+    std::size_t at = 0;
+    for (const char *w : workloads) {
+        std::printf("\n%s:\n", w);
+        double norm = 0;
+        for (std::size_t i = 0; i < numPoints; ++i) {
+            const Point &p = points[i];
+            const ExperimentResult &r = results[at++];
             if (norm == 0)
                 norm = r.cyclesPerTransaction;
             bench::bar(p.label, r.cyclesPerTransaction, norm,
@@ -73,11 +95,11 @@ main()
     std::printf("  %-10s %-10s %9s %9s %9s %9s %9s\n", "workload",
                 "protocol", "req", "reissue+p", "nonData", "data",
                 "total");
+    at = trafficBase;
     for (const char *w : workloads) {
         for (ProtocolKind proto : {ProtocolKind::tokenB,
                                    ProtocolKind::snooping}) {
-            SystemConfig cfg = bench::paperConfig(proto, "tree", w);
-            const ExperimentResult r = runExperiment(cfg, seeds, w);
+            const ExperimentResult &r = results[at++];
             const double reissue_persistent =
                 r.bytesPerMissByClass[static_cast<int>(
                     MsgClass::reissue)] +

@@ -29,38 +29,59 @@ main()
     const char *workloads[] = {"apache", "oltp", "specjbb"};
     const int seeds = bench::benchSeeds();
 
-    bench::header("Figure 5a: runtime, directory/hammer v. token "
-                  "coherence on torus (normalized cycles/transaction)");
+    struct Point
+    {
+        const char *label;
+        ProtocolKind proto;
+        bool perfect_dir;
+        bool unlimited;
+    };
+    const Point points[] = {
+        {"TokenB", ProtocolKind::tokenB, false, false},
+        {"TokenB (inf bw)", ProtocolKind::tokenB, false, true},
+        {"Hammer", ProtocolKind::hammer, false, false},
+        {"Hammer (inf bw)", ProtocolKind::hammer, false, true},
+        {"Directory (DRAM dir)", ProtocolKind::directory, false,
+         false},
+        {"Directory (perfect dir)", ProtocolKind::directory, true,
+         false},
+        {"Directory (perfect+inf)", ProtocolKind::directory, true,
+         true},
+    };
+    constexpr std::size_t numPoints = sizeof(points) / sizeof(points[0]);
 
+    // One spec list covers 5a and 5b; a single parallel sweep runs it.
+    std::vector<ExperimentSpec> specs;
     for (const char *w : workloads) {
-        std::printf("\n%s:\n", w);
-        struct Point
-        {
-            const char *label;
-            ProtocolKind proto;
-            bool perfect_dir;
-            bool unlimited;
-        };
-        const Point points[] = {
-            {"TokenB", ProtocolKind::tokenB, false, false},
-            {"TokenB (inf bw)", ProtocolKind::tokenB, false, true},
-            {"Hammer", ProtocolKind::hammer, false, false},
-            {"Hammer (inf bw)", ProtocolKind::hammer, false, true},
-            {"Directory (DRAM dir)", ProtocolKind::directory, false,
-             false},
-            {"Directory (perfect dir)", ProtocolKind::directory, true,
-             false},
-            {"Directory (perfect+inf)", ProtocolKind::directory, true,
-             true},
-        };
-        double norm = 0;
         for (const Point &p : points) {
             SystemConfig cfg =
                 bench::paperConfig(p.proto, "torus", w);
             cfg.proto.perfectDirectory = p.perfect_dir;
             cfg.net.unlimitedBandwidth = p.unlimited;
-            const ExperimentResult r =
-                runExperiment(cfg, seeds, p.label);
+            specs.push_back(ExperimentSpec{cfg, seeds, p.label});
+        }
+    }
+    const std::size_t trafficBase = specs.size();
+    for (const char *w : workloads) {
+        for (ProtocolKind proto : {ProtocolKind::tokenB,
+                                   ProtocolKind::hammer,
+                                   ProtocolKind::directory}) {
+            SystemConfig cfg = bench::paperConfig(proto, "torus", w);
+            specs.push_back(ExperimentSpec{cfg, seeds, w});
+        }
+    }
+    const std::vector<ExperimentResult> results = bench::runAll(specs);
+
+    bench::header("Figure 5a: runtime, directory/hammer v. token "
+                  "coherence on torus (normalized cycles/transaction)");
+
+    std::size_t at = 0;
+    for (const char *w : workloads) {
+        std::printf("\n%s:\n", w);
+        double norm = 0;
+        for (std::size_t i = 0; i < numPoints; ++i) {
+            const Point &p = points[i];
+            const ExperimentResult &r = results[at++];
             if (norm == 0)
                 norm = r.cyclesPerTransaction;
             bench::bar(p.label, r.cyclesPerTransaction, norm,
@@ -75,13 +96,13 @@ main()
     std::printf("  %-10s %-10s %9s %9s %9s %9s %9s %7s\n", "workload",
                 "protocol", "req+fwd", "reissue+p", "nonData", "data",
                 "total", "vs TokB");
+    at = trafficBase;
     for (const char *w : workloads) {
         double token_total = 0;
         for (ProtocolKind proto : {ProtocolKind::tokenB,
                                    ProtocolKind::hammer,
                                    ProtocolKind::directory}) {
-            SystemConfig cfg = bench::paperConfig(proto, "torus", w);
-            const ExperimentResult r = runExperiment(cfg, seeds, w);
+            const ExperimentResult &r = results[at++];
             if (proto == ProtocolKind::tokenB)
                 token_total = r.bytesPerMiss;
             const double reissue_persistent =

@@ -22,8 +22,8 @@ using namespace tokensim;
 
 namespace {
 
-ExperimentResult
-run(ProtocolKind proto, int nodes, std::uint64_t ops)
+ExperimentSpec
+spec(ProtocolKind proto, int nodes, std::uint64_t ops)
 {
     SystemConfig cfg;
     cfg.numNodes = nodes;
@@ -34,7 +34,7 @@ run(ProtocolKind proto, int nodes, std::uint64_t ops)
     cfg.microStoreFraction = 0.3;
     cfg.opsPerProcessor = ops;
     cfg.seed = 11;
-    return runExperiment(cfg, 1, protocolName(proto));
+    return ExperimentSpec{cfg, 1, protocolName(proto)};
 }
 
 } // namespace
@@ -49,13 +49,24 @@ main()
                 "TokenB/Dir");
 
     const std::uint64_t ops = bench::benchOps() / 2;
-    for (int nodes : {4, 8, 16, 32, 64}) {
-        const ExperimentResult tb =
-            run(ProtocolKind::tokenB, nodes, ops);
-        const ExperimentResult dir =
-            run(ProtocolKind::directory, nodes, ops);
-        const ExperimentResult ham =
-            run(ProtocolKind::hammer, nodes, ops);
+    const int nodeCounts[] = {4, 8, 16, 32, 64};
+
+    // The whole (protocol x processor-count) matrix goes through the
+    // runner at once; the 64-node shards dominate, so sharding lets
+    // the small configs fill the other cores.
+    std::vector<ExperimentSpec> specs;
+    for (int nodes : nodeCounts) {
+        specs.push_back(spec(ProtocolKind::tokenB, nodes, ops));
+        specs.push_back(spec(ProtocolKind::directory, nodes, ops));
+        specs.push_back(spec(ProtocolKind::hammer, nodes, ops));
+    }
+    const std::vector<ExperimentResult> results = bench::runAll(specs);
+
+    std::size_t at = 0;
+    for (int nodes : nodeCounts) {
+        const ExperimentResult &tb = results[at++];
+        const ExperimentResult &dir = results[at++];
+        const ExperimentResult &ham = results[at++];
         std::printf("  %5d %12.1f %12.1f %12.1f %13.2fx\n", nodes,
                     tb.bytesPerMiss, dir.bytesPerMiss,
                     ham.bytesPerMiss,

@@ -7,6 +7,7 @@
  * Environment knobs:
  *   TOKENSIM_BENCH_OPS    operations per processor (default 6000)
  *   TOKENSIM_BENCH_SEEDS  seeds per design point   (default 2)
+ *   TOKENSIM_THREADS      ParallelRunner workers   (default all cores)
  */
 
 #ifndef TOKENSIM_BENCH_BENCH_UTIL_HH
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/system.hh"
 
 namespace tokensim {
@@ -88,6 +90,18 @@ struct Row
     std::string label;
     ExperimentResult r;
 };
+
+/**
+ * Run a whole figure's design points through the ParallelRunner in one
+ * invocation (thread count from TOKENSIM_THREADS, default all cores).
+ * Results come back in spec order, bit-identical to running each spec
+ * serially with runExperiment().
+ */
+inline std::vector<ExperimentResult>
+runAll(const std::vector<ExperimentSpec> &specs)
+{
+    return ParallelRunner().run(specs);
+}
 
 } // namespace bench
 } // namespace tokensim

@@ -9,8 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "harness/experiment.hh"
+#include "harness/parallel_runner.hh"
 
 using namespace tokensim;
 
@@ -37,9 +38,9 @@ main(int argc, char **argv)
         {ProtocolKind::directory, "torus"},
     };
 
-    std::printf("%-10s %-6s %12s %12s %10s %9s\n", "protocol",
-                "topo", "cycles/txn", "missLat(ns)", "bytes/miss",
-                "c2c%");
+    // All protocols sweep in one ParallelRunner invocation: every
+    // (protocol, seed) shard is an independent System.
+    std::vector<ExperimentSpec> specs;
     for (const Row &row : rows) {
         SystemConfig cfg;
         cfg.numNodes = 16;
@@ -48,8 +49,18 @@ main(int argc, char **argv)
         cfg.workload = workload;
         cfg.opsPerProcessor = ops;
         cfg.warmupOpsPerProcessor = ops;
-        const ExperimentResult r =
-            runExperiment(cfg, 2, protocolName(row.proto));
+        specs.push_back(
+            ExperimentSpec{cfg, 2, protocolName(row.proto)});
+    }
+    const std::vector<ExperimentResult> results =
+        ParallelRunner().run(specs);
+
+    std::printf("%-10s %-6s %12s %12s %10s %9s\n", "protocol",
+                "topo", "cycles/txn", "missLat(ns)", "bytes/miss",
+                "c2c%");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const Row &row = rows[i];
+        const ExperimentResult &r = results[i];
         std::printf("%-10s %-6s %12.1f %12.0f %10.1f %8.1f%%\n",
                     protocolName(row.proto), row.topo,
                     r.cyclesPerTransaction, r.avgMissLatencyNs,

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "harness/system.hh"

@@ -2,8 +2,40 @@
 
 namespace tokensim {
 
+bool
+identicalResults(const ExperimentResult &a, const ExperimentResult &b)
+{
+    if (a.ops != b.ops || a.misses != b.misses)
+        return false;
+    if (a.cyclesPerTransaction != b.cyclesPerTransaction ||
+        a.cyclesPerTransactionStddev != b.cyclesPerTransactionStddev ||
+        a.bytesPerMiss != b.bytesPerMiss ||
+        a.missRate != b.missRate ||
+        a.cacheToCacheFrac != b.cacheToCacheFrac ||
+        a.avgMissLatencyNs != b.avgMissLatencyNs ||
+        a.pctNotReissued != b.pctNotReissued ||
+        a.pctReissuedOnce != b.pctReissuedOnce ||
+        a.pctReissuedMore != b.pctReissuedMore ||
+        a.pctPersistent != b.pctPersistent)
+        return false;
+    for (std::size_t c = 0; c < numMsgClasses; ++c)
+        if (a.bytesPerMissByClass[c] != b.bytesPerMissByClass[c])
+            return false;
+    return true;
+}
+
+System::Results
+runOnce(SystemConfig cfg, std::uint64_t seed)
+{
+    cfg.seed = seed;
+    System sys(cfg);
+    sys.run();
+    return sys.results();
+}
+
 ExperimentResult
-runExperiment(SystemConfig cfg, int seeds, const std::string &label)
+aggregateResults(const std::vector<System::Results> &runs,
+                 const std::string &label)
 {
     ExperimentResult out;
     out.label = label;
@@ -17,13 +49,7 @@ runExperiment(SystemConfig cfg, int seeds, const std::string &label)
     std::uint64_t not_reissued = 0, once = 0, more = 0, persistent = 0;
     RunningStat miss_lat;
 
-    const std::uint64_t base_seed = cfg.seed;
-    for (int s = 0; s < seeds; ++s) {
-        cfg.seed = base_seed + static_cast<std::uint64_t>(s);
-        System sys(cfg);
-        sys.run();
-        const System::Results r = sys.results();
-
+    for (const System::Results &r : runs) {
         cpt.add(r.cyclesPerTransaction());
         total_misses += r.misses;
         total_c2c += r.cacheToCache;
@@ -68,6 +94,18 @@ runExperiment(SystemConfig cfg, int seeds, const std::string &label)
     out.avgMissLatencyNs = ticksToNsF(
         static_cast<Tick>(miss_lat.mean()));
     return out;
+}
+
+ExperimentResult
+runExperiment(SystemConfig cfg, int seeds, const std::string &label)
+{
+    std::vector<System::Results> runs;
+    runs.reserve(static_cast<std::size_t>(seeds));
+    const std::uint64_t base_seed = cfg.seed;
+    for (int s = 0; s < seeds; ++s)
+        runs.push_back(runOnce(cfg, base_seed +
+                                        static_cast<std::uint64_t>(s)));
+    return aggregateResults(runs, label);
 }
 
 } // namespace tokensim

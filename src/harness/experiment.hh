@@ -39,6 +39,43 @@ struct ExperimentResult
 };
 
 /**
+ * Exact (bit-identical) equality of every statistic, label excluded.
+ * The determinism gates (tests/test_parallel_runner.cc and the
+ * runner-matrix benchmark) use this; keeping it next to the struct
+ * means a new field extends every gate in one place.
+ */
+bool identicalResults(const ExperimentResult &a,
+                      const ExperimentResult &b);
+
+/**
+ * One design point for a runner: a configuration, how many seeds to
+ * perturb it with, and a display label. Seed s of the spec runs with
+ * cfg.seed + s, so results depend only on the spec — never on which
+ * worker thread executes it.
+ */
+struct ExperimentSpec
+{
+    SystemConfig cfg;
+    int seeds = 3;
+    std::string label;
+};
+
+/**
+ * Build and run one System with @p cfg.seed replaced by @p seed and
+ * return its raw results. This is the unit of work both the serial
+ * runner and the ParallelRunner shard over.
+ */
+System::Results runOnce(SystemConfig cfg, std::uint64_t seed);
+
+/**
+ * Fold per-seed raw results into the aggregated metrics the figures
+ * use. Deterministic: depends only on @p runs order, which callers fix
+ * to seed order regardless of execution order.
+ */
+ExperimentResult aggregateResults(const std::vector<System::Results> &runs,
+                                  const std::string &label);
+
+/**
  * Run @p cfg once per seed in [cfg.seed, cfg.seed + seeds) and
  * average. Traffic and miss statistics are summed before normalizing;
  * runtime variability feeds the stddev (the paper's error bars).

@@ -55,20 +55,42 @@ Network::account(const Message &msg, std::size_t nlinks)
 void
 Network::scheduleDelivery(NodeId dest, const Message &msg, Tick when)
 {
-    NetworkEndpoint *ep = endpoints_[dest];
-    assert(ep && "message sent to node with no attached endpoint");
-    Message copy = msg;
-    copy.dest = dest;
-    eq_.schedule(when, [this, ep, copy]() {
+    assert(endpoints_[dest] &&
+           "message sent to node with no attached endpoint");
+    auto &batch = pendingDeliveries_[when];
+    if (batch.empty()) {
+        if (!batchPool_.empty()) {
+            batch = std::move(batchPool_.back());
+            batchPool_.pop_back();
+        }
+        eq_.schedule(when, [this, when]() { flushDeliveries(when); });
+    }
+    batch.push_back(Delivery{dest, msg});
+    batch.back().msg.dest = dest;
+}
+
+void
+Network::flushDeliveries(Tick when)
+{
+    auto it = pendingDeliveries_.find(when);
+    assert(it != pendingDeliveries_.end());
+    // Move the batch out: a handler may send a message whose delivery
+    // lands on this same tick, which opens a fresh batch (and its own
+    // flush event) without disturbing this iteration.
+    std::vector<Delivery> batch = std::move(it->second);
+    pendingDeliveries_.erase(it);
+    for (Delivery &d : batch) {
         ++stats_.deliveries;
         stats_.latency.add(
-            static_cast<double>(eq_.curTick() - copy.sentAt));
+            static_cast<double>(eq_.curTick() - d.msg.sentAt));
         if (logging::enabled(logging::Level::trace)) {
             logging::write(logging::Level::trace, eq_.curTick(), "net",
-                           "deliver " + copy.toString());
+                           "deliver " + d.msg.toString());
         }
-        ep->deliver(copy);
-    });
+        endpoints_[d.dest]->deliver(d.msg);
+    }
+    batch.clear();
+    batchPool_.push_back(std::move(batch));
 }
 
 Tick

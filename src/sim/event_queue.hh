@@ -7,6 +7,16 @@
  * the same tick fire in FIFO order of scheduling (a deterministic total
  * order, which keeps simulations reproducible for a given seed).
  *
+ * The queue is a calendar-style bucket ring rather than a binary heap:
+ * the next `windowSize` ticks map one-to-one onto an array of buckets
+ * (append = O(1), no comparator, no per-event heap churn), with a bitmap
+ * over the buckets so finding the next occupied tick is a handful of
+ * count-trailing-zero scans. Events beyond the ring's horizon wait in a
+ * small overflow heap and migrate into the ring as the clock advances —
+ * migration happens eagerly on every clock advance, before any new
+ * events can be scheduled, which preserves the global same-tick FIFO
+ * order across the horizon boundary.
+ *
  * There is intentionally no event cancellation: components that may need
  * to abandon a timer (e.g., TokenB reissue timers) tag their events with a
  * generation counter and ignore stale firings. This mirrors the common
@@ -38,7 +48,9 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue()
+        : buckets_(windowSize), occupied_(windowSize / 64, 0)
+    {}
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -56,7 +68,14 @@ class EventQueue
     {
         if (when < curTick_)
             when = curTick_;
-        events_.push(Entry{when, nextSeq_++, std::move(fn)});
+        if (when - curTick_ < windowSize) {
+            const std::size_t slot = when & windowMask;
+            buckets_[slot].push_back(std::move(fn));
+            occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+            ++ringCount_;
+        } else {
+            overflow_.push(FarEntry{when, nextSeq_++, std::move(fn)});
+        }
     }
 
     /** Schedule an event @p delay ticks from now. */
@@ -67,10 +86,10 @@ class EventQueue
     }
 
     /** True if no events remain. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return ringCount_ == 0 && overflow_.empty(); }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return ringCount_ + overflow_.size(); }
 
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
@@ -87,17 +106,28 @@ class EventQueue
     bool
     run(Tick maxTick = tickNever)
     {
-        while (!events_.empty()) {
-            const Entry &top = events_.top();
-            if (top.when > maxTick) {
-                curTick_ = maxTick;
+        while (!empty()) {
+            const Tick next = nextEventTick();
+            if (next > maxTick) {
+                advanceTo(maxTick);
                 return false;
             }
-            curTick_ = top.when;
-            EventFn fn = std::move(const_cast<Entry &>(top).fn);
-            events_.pop();
-            ++executed_;
-            fn();
+            advanceTo(next);
+
+            auto &bucket = buckets_[curTick_ & windowMask];
+            std::size_t i = 0;
+            while (i < bucket.size()) {
+                EventFn fn = std::move(bucket[i]);
+                ++i;
+                ++executed_;
+                try {
+                    fn();
+                } catch (...) {
+                    reconcileAfterThrow(bucket, i);
+                    throw;
+                }
+            }
+            retireBucket(bucket, i);
         }
         return true;
     }
@@ -113,32 +143,63 @@ class EventQueue
     {
         if (pred())
             return true;
-        while (!events_.empty()) {
-            const Entry &top = events_.top();
-            if (top.when > maxTick) {
-                curTick_ = maxTick;
+        while (!empty()) {
+            const Tick next = nextEventTick();
+            if (next > maxTick) {
+                advanceTo(maxTick);
                 return false;
             }
-            curTick_ = top.when;
-            EventFn fn = std::move(const_cast<Entry &>(top).fn);
-            events_.pop();
-            ++executed_;
-            fn();
-            if (pred())
+            advanceTo(next);
+
+            auto &bucket = buckets_[curTick_ & windowMask];
+            std::size_t i = 0;
+            bool satisfied = false;
+            while (i < bucket.size()) {
+                EventFn fn = std::move(bucket[i]);
+                ++i;
+                ++executed_;
+                try {
+                    fn();
+                } catch (...) {
+                    reconcileAfterThrow(bucket, i);
+                    throw;
+                }
+                if (pred()) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (i == bucket.size()) {
+                retireBucket(bucket, i);
+            } else {
+                // Early exit mid-bucket: keep the unexecuted suffix
+                // (still this tick's events; the slot stays occupied).
+                bucket.erase(bucket.begin(),
+                             bucket.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                ringCount_ -= i;
+            }
+            if (satisfied)
                 return true;
         }
         return false;
     }
 
   private:
-    struct Entry
+    /** Ring horizon: how far ahead the bucket array reaches. */
+    static constexpr std::size_t windowBits = 12;
+    static constexpr std::size_t windowSize = std::size_t{1} << windowBits;
+    static constexpr std::size_t windowMask = windowSize - 1;
+
+    /** An event beyond the ring horizon, ordered by (when, seq). */
+    struct FarEntry
     {
         Tick when;
         std::uint64_t seq;
         EventFn fn;
 
         bool
-        operator>(const Entry &o) const
+        operator>(const FarEntry &o) const
         {
             if (when != o.when)
                 return when > o.when;
@@ -146,7 +207,93 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> events_;
+    /**
+     * Earliest pending tick. With the migration invariant (every
+     * overflow entry is at least windowSize past curTick_), any
+     * occupied ring slot beats the overflow heap.
+     */
+    Tick
+    nextEventTick() const
+    {
+        if (ringCount_ != 0) {
+            const std::size_t start = curTick_ & windowMask;
+            const std::size_t startWord = start >> 6;
+            constexpr std::size_t numWords = windowSize / 64;
+            for (std::size_t k = 0; k <= numWords; ++k) {
+                const std::size_t w = (startWord + k) & (numWords - 1);
+                std::uint64_t word = occupied_[w];
+                if (k == 0)
+                    word &= ~std::uint64_t{0} << (start & 63);
+                else if (k == numWords)
+                    word &= (std::uint64_t{1} << (start & 63)) - 1;
+                if (word) {
+                    const std::size_t slot =
+                        (w << 6) +
+                        static_cast<std::size_t>(
+                            __builtin_ctzll(word));
+                    return curTick_ + ((slot - start) & windowMask);
+                }
+            }
+        }
+        return overflow_.top().when;
+    }
+
+    /**
+     * Advance the clock and immediately migrate every overflow event
+     * that the new window now covers. Doing this on every advance —
+     * before any handler can schedule — keeps same-tick FIFO exact
+     * across the horizon: a ring bucket only ever receives entries in
+     * global scheduling order.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        if (t > curTick_)
+            curTick_ = t;
+        while (!overflow_.empty() &&
+               overflow_.top().when - curTick_ < windowSize) {
+            auto &top = const_cast<FarEntry &>(overflow_.top());
+            const std::size_t slot = top.when & windowMask;
+            buckets_[slot].push_back(std::move(top.fn));
+            occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+            ++ringCount_;
+            overflow_.pop();
+        }
+    }
+
+    /**
+     * A handler threw mid-drain: drop the executed (moved-from)
+     * prefix and fix the counters so the queue stays consistent and
+     * resumable, like the old pop-before-execute heap was.
+     */
+    void
+    reconcileAfterThrow(std::vector<EventFn> &bucket, std::size_t n)
+    {
+        bucket.erase(bucket.begin(),
+                     bucket.begin() + static_cast<std::ptrdiff_t>(n));
+        ringCount_ -= n;
+        if (bucket.empty()) {
+            const std::size_t slot = curTick_ & windowMask;
+            occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+        }
+    }
+
+    /** Finish a fully drained bucket: release storage accounting. */
+    void
+    retireBucket(std::vector<EventFn> &bucket, std::size_t n)
+    {
+        bucket.clear();
+        ringCount_ -= n;
+        const std::size_t slot = curTick_ & windowMask;
+        occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    }
+
+    std::vector<std::vector<EventFn>> buckets_;
+    std::vector<std::uint64_t> occupied_;
+    std::size_t ringCount_ = 0;
+    std::priority_queue<FarEntry, std::vector<FarEntry>,
+                        std::greater<>>
+        overflow_;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -1,12 +1,14 @@
 #include "sim/log.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace tokensim {
 namespace logging {
 
 namespace {
-Level globalLevel = Level::none;
+// Atomic so ParallelRunner workers can read it without a data race.
+std::atomic<Level> globalLevel{Level::none};
 } // namespace
 
 void
@@ -18,13 +20,13 @@ setLevel(Level lvl)
 Level
 level()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 bool
 enabled(Level lvl)
 {
-    return static_cast<int>(lvl) <= static_cast<int>(globalLevel);
+    return static_cast<int>(lvl) <= static_cast<int>(level());
 }
 
 void

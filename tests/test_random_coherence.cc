@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "harness/random_tester.hh"
 
@@ -24,6 +26,7 @@ struct SoakCase
     std::uint64_t blocks;
     bool l1;
     std::uint64_t seed;
+    int tokensPerBlock = 0;   ///< 0 = numNodes (token protocols only)
 };
 
 class RandomSoak : public ::testing::TestWithParam<SoakCase>
@@ -40,6 +43,7 @@ TEST_P(RandomSoak, NoCoherenceViolations)
     cfg.blocks = c.blocks;
     cfg.l1Enabled = c.l1;
     cfg.seed = c.seed;
+    cfg.tokensPerBlock = c.tokensPerBlock;
     cfg.opsPerProcessor =
         c.protocol == ProtocolKind::tokenNull ? 150 : 1500;
     const RandomTesterResult r = runRandomTester(cfg);
@@ -57,7 +61,9 @@ soakName(const ::testing::TestParamInfo<SoakCase> &info)
     return std::string(protocolName(c.protocol)) + "_" + c.topology +
         "_n" + std::to_string(c.nodes) + "_b" +
         std::to_string(c.blocks) + (c.l1 ? "_l1" : "_nol1") + "_s" +
-        std::to_string(c.seed);
+        std::to_string(c.seed) +
+        (c.tokensPerBlock ? "_t" + std::to_string(c.tokensPerBlock)
+                          : std::string());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -99,6 +105,50 @@ INSTANTIATE_TEST_SUITE_P(
         SoakCase{ProtocolKind::tokenB, "torus", 8, 2, true, 103},
         SoakCase{ProtocolKind::tokenB, "torus", 8, 2, true, 104}),
     soakName);
+
+/**
+ * Seeded sweep over the full (protocol x topology x token count)
+ * matrix. Each config soaks under contended random traffic; the
+ * tester audits token conservation (invariant #1', via TokenAuditor)
+ * throughout and at the end, and every processor retiring its whole
+ * budget is the executable witness of starvation freedom (a starved
+ * node would stall the run into the deadlock guard).
+ */
+std::vector<SoakCase>
+scaleSweepCases()
+{
+    std::vector<SoakCase> cases;
+    std::uint64_t seed = 1000;
+    const ProtocolKind protos[] = {
+        ProtocolKind::tokenB,    ProtocolKind::tokenD,
+        ProtocolKind::tokenM,    ProtocolKind::snooping,
+        ProtocolKind::directory, ProtocolKind::hammer,
+    };
+    for (ProtocolKind proto : protos) {
+        for (const char *topo : {"torus", "tree"}) {
+            // Traditional snooping exists only on the ordered tree.
+            if (proto == ProtocolKind::snooping &&
+                std::string(topo) == "torus")
+                continue;
+            // Token counts: the minimum (T = N), and an awkward
+            // non-power-of-two surplus that stresses partial piles.
+            // Non-token protocols have no token knob; run them once.
+            std::vector<int> tokenCounts =
+                isTokenProtocol(proto) ? std::vector<int>{0, 19}
+                                       : std::vector<int>{0};
+            for (int tokens : tokenCounts) {
+                SoakCase c{proto, topo, 8, 6, true, ++seed};
+                c.tokensPerBlock = tokens;
+                cases.push_back(c);
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ScaleSweep, RandomSoak,
+                         ::testing::ValuesIn(scaleSweepCases()),
+                         soakName);
 
 TEST(RandomSoakStress, TokenBHighContentionUsesPersistentRequests)
 {

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -119,6 +121,135 @@ TEST(EventQueue, PastScheduleClampsToNow)
     });
     eq.run();
     EXPECT_EQ(seen, 100u);
+}
+
+// --- Bucketed-queue specifics: the ring horizon is 4096 ticks, so
+// these exercise the overflow heap and the migrate-on-advance path.
+
+TEST(EventQueue, FarFutureEventsRunInOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100000, [&]() { order.push_back(3); });
+    eq.schedule(50000, [&]() { order.push_back(2); });
+    eq.schedule(3, [&]() { order.push_back(1); });
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 100000u);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, FarFutureSameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(1 << 20, [&, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, FifoAcrossHorizonMigration)
+{
+    // a and b start beyond the ring horizon; c is scheduled for the
+    // same tick once that tick is inside the window. FIFO order of
+    // scheduling (a, b, c) must survive the overflow->ring migration.
+    EventQueue eq;
+    std::vector<char> order;
+    eq.schedule(5000, [&]() { order.push_back('a'); });
+    eq.schedule(5000, [&]() { order.push_back('b'); });
+    EXPECT_FALSE(eq.run(4000));
+    EXPECT_EQ(eq.curTick(), 4000u);
+    eq.schedule(5000, [&]() { order.push_back('c'); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c'}));
+}
+
+TEST(EventQueue, DenseAndSparseMix)
+{
+    // Dense same-tick bursts plus sparse far jumps, crossing many
+    // window wraps; every event must run exactly once, in tick order.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    Tick t = 0;
+    std::vector<Tick> expect;
+    for (int i = 0; i < 200; ++i) {
+        t += static_cast<Tick>((i % 7 == 0) ? 9001 : i % 5);
+        expect.push_back(t);
+        eq.schedule(t, [&fired, &eq]() {
+            fired.push_back(eq.curTick());
+        });
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, expect);
+    EXPECT_EQ(eq.executed(), 200u);
+}
+
+TEST(EventQueue, RunUntilResumesMidBucket)
+{
+    // Stop mid-way through a same-tick bucket, then resume: the
+    // unexecuted suffix must still run, exactly once, in order.
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 6; ++i)
+        eq.schedule(7, [&, i]() { order.push_back(i); });
+    EXPECT_TRUE(eq.runUntil([&]() { return order.size() == 2; }));
+    EXPECT_EQ(eq.curTick(), 7u);
+    EXPECT_EQ(eq.pending(), 4u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, MaxTickDoesNotRewindClock)
+{
+    EventQueue eq;
+    eq.schedule(100, []() {});
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(eq.curTick(), 100u);
+    // A bound in the past must not move time backwards.
+    eq.schedule(200, []() {});
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(eq.curTick(), 100u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(eq.curTick(), 200u);
+}
+
+TEST(EventQueue, HandlerSchedulesIntoCurrentAndFarTicks)
+{
+    EventQueue eq;
+    std::vector<char> order;
+    eq.schedule(10, [&]() {
+        order.push_back('x');
+        // Same-tick append lands at the tail of the live bucket...
+        eq.schedule(10, [&]() { order.push_back('y'); });
+        // ...and a far event takes the overflow path.
+        eq.scheduleIn(100000, [&]() { order.push_back('z'); });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<char>{'x', 'y', 'z'}));
+    EXPECT_EQ(eq.curTick(), 100010u);
+}
+
+TEST(EventQueue, ResumableAfterHandlerThrows)
+{
+    // A throwing handler must leave the queue consistent: the
+    // unexecuted same-tick suffix and later events still run, and no
+    // moved-from handler is ever re-invoked.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&]() { order.push_back(0); });
+    eq.schedule(5, [&]() { throw std::runtime_error("boom"); });
+    eq.schedule(5, [&]() { order.push_back(2); });
+    eq.schedule(9, [&]() { order.push_back(3); });
+    EXPECT_THROW(eq.run(), std::runtime_error);
+    EXPECT_EQ(eq.curTick(), 5u);
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+    EXPECT_EQ(eq.executed(), 4u);
 }
 
 TEST(Rng, Deterministic)
