@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_migratory.dir/bench/bench_ablation_migratory.cc.o"
+  "CMakeFiles/bench_ablation_migratory.dir/bench/bench_ablation_migratory.cc.o.d"
+  "bench_ablation_migratory"
+  "bench_ablation_migratory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_migratory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reissue.dir/bench/bench_ablation_reissue.cc.o"
+  "CMakeFiles/bench_ablation_reissue.dir/bench/bench_ablation_reissue.cc.o.d"
+  "bench_ablation_reissue"
+  "bench_ablation_reissue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reissue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

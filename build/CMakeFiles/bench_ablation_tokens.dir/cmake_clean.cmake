@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tokens.dir/bench/bench_ablation_tokens.cc.o"
+  "CMakeFiles/bench_ablation_tokens.dir/bench/bench_ablation_tokens.cc.o.d"
+  "bench_ablation_tokens"
+  "bench_ablation_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_snooping.dir/bench/bench_fig4_snooping.cc.o"
+  "CMakeFiles/bench_fig4_snooping.dir/bench/bench_fig4_snooping.cc.o.d"
+  "bench_fig4_snooping"
+  "bench_fig4_snooping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_snooping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

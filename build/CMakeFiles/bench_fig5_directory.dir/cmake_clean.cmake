@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_directory.dir/bench/bench_fig5_directory.cc.o"
+  "CMakeFiles/bench_fig5_directory.dir/bench/bench_fig5_directory.cc.o.d"
+  "bench_fig5_directory"
+  "bench_fig5_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

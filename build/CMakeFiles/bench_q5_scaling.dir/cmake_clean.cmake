@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q5_scaling.dir/bench/bench_q5_scaling.cc.o"
+  "CMakeFiles/bench_q5_scaling.dir/bench/bench_q5_scaling.cc.o.d"
+  "bench_q5_scaling"
+  "bench_q5_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q5_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

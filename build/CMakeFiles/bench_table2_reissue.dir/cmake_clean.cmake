@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_reissue.dir/bench/bench_table2_reissue.cc.o"
+  "CMakeFiles/bench_table2_reissue.dir/bench/bench_table2_reissue.cc.o.d"
+  "bench_table2_reissue"
+  "bench_table2_reissue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_reissue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_example.dir/examples/race_example.cpp.o"
+  "CMakeFiles/race_example.dir/examples/race_example.cpp.o.d"
+  "race_example"
+  "race_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starvation_demo.dir/examples/starvation_demo.cpp.o"
+  "CMakeFiles/starvation_demo.dir/examples/starvation_demo.cpp.o.d"
+  "starvation_demo"
+  "starvation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starvation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hammer.dir/tests/test_hammer.cc.o"
+  "CMakeFiles/test_hammer.dir/tests/test_hammer.cc.o.d"
+  "test_hammer"
+  "test_hammer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persistent.dir/tests/test_persistent.cc.o"
+  "CMakeFiles/test_persistent.dir/tests/test_persistent.cc.o.d"
+  "test_persistent"
+  "test_persistent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

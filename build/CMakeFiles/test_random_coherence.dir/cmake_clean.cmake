@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_coherence.dir/tests/test_random_coherence.cc.o"
+  "CMakeFiles/test_random_coherence.dir/tests/test_random_coherence.cc.o.d"
+  "test_random_coherence"
+  "test_random_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequencer.dir/tests/test_sequencer.cc.o"
+  "CMakeFiles/test_sequencer.dir/tests/test_sequencer.cc.o.d"
+  "test_sequencer"
+  "test_sequencer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequencer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

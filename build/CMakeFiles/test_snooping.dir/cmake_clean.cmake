@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snooping.dir/tests/test_snooping.cc.o"
+  "CMakeFiles/test_snooping.dir/tests/test_snooping.cc.o.d"
+  "test_snooping"
+  "test_snooping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snooping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_token_state.dir/tests/test_token_state.cc.o"
+  "CMakeFiles/test_token_state.dir/tests/test_token_state.cc.o.d"
+  "test_token_state"
+  "test_token_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_token_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

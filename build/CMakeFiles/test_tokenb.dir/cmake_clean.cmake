@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tokenb.dir/tests/test_tokenb.cc.o"
+  "CMakeFiles/test_tokenb.dir/tests/test_tokenb.cc.o.d"
+  "test_tokenb"
+  "test_tokenb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tokenb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ext/tokena.cc" "CMakeFiles/tokensim.dir/src/core/ext/tokena.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/core/ext/tokena.cc.o.d"
+  "/root/repo/src/core/ext/tokend.cc" "CMakeFiles/tokensim.dir/src/core/ext/tokend.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/core/ext/tokend.cc.o.d"
+  "/root/repo/src/core/ext/tokenm.cc" "CMakeFiles/tokensim.dir/src/core/ext/tokenm.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/core/ext/tokenm.cc.o.d"
+  "/root/repo/src/core/persistent.cc" "CMakeFiles/tokensim.dir/src/core/persistent.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/core/persistent.cc.o.d"
+  "/root/repo/src/core/substrate.cc" "CMakeFiles/tokensim.dir/src/core/substrate.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/core/substrate.cc.o.d"
+  "/root/repo/src/core/tokenb.cc" "CMakeFiles/tokensim.dir/src/core/tokenb.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/core/tokenb.cc.o.d"
+  "/root/repo/src/cpu/sequencer.cc" "CMakeFiles/tokensim.dir/src/cpu/sequencer.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/cpu/sequencer.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "CMakeFiles/tokensim.dir/src/harness/experiment.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/parallel_runner.cc" "CMakeFiles/tokensim.dir/src/harness/parallel_runner.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/harness/parallel_runner.cc.o.d"
+  "/root/repo/src/harness/random_tester.cc" "CMakeFiles/tokensim.dir/src/harness/random_tester.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/harness/random_tester.cc.o.d"
+  "/root/repo/src/harness/system.cc" "CMakeFiles/tokensim.dir/src/harness/system.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/harness/system.cc.o.d"
+  "/root/repo/src/net/message.cc" "CMakeFiles/tokensim.dir/src/net/message.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/net/message.cc.o.d"
+  "/root/repo/src/net/network.cc" "CMakeFiles/tokensim.dir/src/net/network.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/net/network.cc.o.d"
+  "/root/repo/src/net/topology.cc" "CMakeFiles/tokensim.dir/src/net/topology.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/net/topology.cc.o.d"
+  "/root/repo/src/proto/directory/directory.cc" "CMakeFiles/tokensim.dir/src/proto/directory/directory.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/proto/directory/directory.cc.o.d"
+  "/root/repo/src/proto/hammer/hammer.cc" "CMakeFiles/tokensim.dir/src/proto/hammer/hammer.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/proto/hammer/hammer.cc.o.d"
+  "/root/repo/src/proto/snooping/snooping.cc" "CMakeFiles/tokensim.dir/src/proto/snooping/snooping.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/proto/snooping/snooping.cc.o.d"
+  "/root/repo/src/proto/types.cc" "CMakeFiles/tokensim.dir/src/proto/types.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/proto/types.cc.o.d"
+  "/root/repo/src/sim/log.cc" "CMakeFiles/tokensim.dir/src/sim/log.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/sim/log.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "CMakeFiles/tokensim.dir/src/sim/stats.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/sim/stats.cc.o.d"
+  "/root/repo/src/workload/commercial.cc" "CMakeFiles/tokensim.dir/src/workload/commercial.cc.o" "gcc" "CMakeFiles/tokensim.dir/src/workload/commercial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
