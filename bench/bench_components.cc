@@ -18,6 +18,7 @@
 #include "harness/experiment.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/system.hh"
+#include "mem/block_map.hh"
 #include "mem/cache.hh"
 #include "net/network.hh"
 #include "sim/event_queue.hh"
@@ -136,6 +137,148 @@ BM_ZipfSample(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfSample);
+
+void
+BM_EventQueueSteadyState(benchmark::State &state)
+{
+    // One long-lived queue: after warmup, scheduling and dispatch run
+    // entirely out of recycled bucket storage (the allocation-free
+    // steady state the Event record + bucket arena are built for).
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i) {
+            eq.scheduleIn(static_cast<Tick>((i * 37) % 500),
+                          [&sink]() { ++sink; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueSteadyState);
+
+void
+BM_CacheArrayAllocate(benchmark::State &state)
+{
+    // Single-pass allocate with steady-state eviction: fill every
+    // way, then cycle a 2x-capacity footprint so each allocate must
+    // evict the set's LRU way (which is also how the cycled address
+    // is guaranteed absent again by the time it comes back around).
+    CacheArray<BenchLine> cache(CacheParams{4 * 1024 * 1024, 4, 64,
+                                            nsToTicks(6)});
+    CacheArray<BenchLine>::Victim v;
+    const Addr capacity = 4 * 16384 * 64;
+    const Addr span = 2 * capacity;
+    for (Addr w = 0; w < capacity; w += 64)
+        cache.allocate(w, &v);
+    Addr a = capacity;
+    std::uint64_t evictions = 0;
+    for (auto _ : state) {
+        v.valid = false;
+        benchmark::DoNotOptimize(cache.allocate(a, &v));
+        evictions += v.valid;
+        a = (a + 64) % span;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["evict_frac"] =
+        state.iterations()
+            ? static_cast<double>(evictions) /
+                  static_cast<double>(state.iterations())
+            : 0.0;
+}
+BENCHMARK(BM_CacheArrayAllocate);
+
+void
+BM_BlockMapUpsertFindErase(benchmark::State &state)
+{
+    // The per-block state table pattern every protocol runs per miss:
+    // insert a transaction, look it up a few times, erase it.
+    BlockMap<std::uint64_t> map;
+    Addr a = 0;
+    for (auto _ : state) {
+        map[a] = a;
+        benchmark::DoNotOptimize(map.find(a) != map.end());
+        benchmark::DoNotOptimize(map.count(a));
+        map.erase(a);
+        a = (a + 64) % (1 << 22);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockMapUpsertFindErase);
+
+void
+BM_NetworkUnicastSteadyState(benchmark::State &state)
+{
+    // Pooled-transit unicast path: route, hop, batch, deliver — all
+    // out of recycled slots after warmup.
+    EventQueue eq;
+    Network net(eq,
+                std::unique_ptr<Topology>(makeTopology("torus", 16)),
+                NetworkParams{});
+    std::vector<std::unique_ptr<NullSink>> sinks;
+    for (int i = 0; i < 16; ++i) {
+        sinks.push_back(std::make_unique<NullSink>());
+        net.attach(static_cast<NodeId>(i), sinks.back().get());
+    }
+    NodeId src = 0;
+    for (auto _ : state) {
+        Message m;
+        m.type = MsgType::data;
+        m.cls = MsgClass::data;
+        m.hasData = true;
+        m.src = src;
+        m.dest = static_cast<NodeId>((src + 5) % 16);
+        m.addr = 0x40;
+        net.unicast(m);
+        eq.run();
+        src = (src + 1) % 16;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkUnicastSteadyState);
+
+void
+BM_SystemFreshConstruct(benchmark::State &state)
+{
+    // Per-shard cost of building a full 16-node System from scratch —
+    // the cost the reusable-System path amortizes away.
+    SystemConfig cfg;
+    cfg.numNodes = 16;
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.workload = "uniform";
+    cfg.opsPerProcessor = 50;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        std::unique_ptr<System> sys;
+        benchmark::DoNotOptimize(
+            runOnceReusing(sys, cfg, seed));
+        ++seed;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemFreshConstruct);
+
+void
+BM_SystemResetReuse(benchmark::State &state)
+{
+    // Same work with one reused System: System::reset wipes state in
+    // place instead of reallocating caches/queues/network.
+    SystemConfig cfg;
+    cfg.numNodes = 16;
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.workload = "uniform";
+    cfg.opsPerProcessor = 50;
+    std::unique_ptr<System> sys;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            runOnceReusing(sys, cfg, seed, true));
+        ++seed;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemResetReuse);
 
 void
 BM_EventQueueFarHorizon(benchmark::State &state)

@@ -42,6 +42,18 @@ class TokenACache : public TokenBCache
     /** Most recent utilization estimate, in [0, 1]. */
     double utilizationEstimate() const { return utilization_; }
 
+    void
+    resetState(const ProtocolParams &params,
+               std::uint64_t seed) override
+    {
+        TokenBCache::resetState(params, seed);
+        windowStart_ = 0;
+        windowStartByteLinks_ = 0;
+        utilization_ = 0.0;
+        broadcasts_ = 0;
+        unicasts_ = 0;
+    }
+
   protected:
     void issueTransient(Addr addr, const Transaction &trans,
                         bool reissue) override;

@@ -31,6 +31,7 @@
 #include <unordered_map>
 
 #include "core/tokenb.hh"
+#include "mem/block_map.hh"
 
 namespace tokensim {
 
@@ -63,11 +64,18 @@ class TokenDMemory : public TokenBMemory
 
     const SoftState *softState(Addr addr) const;
 
+    void
+    resetState(const ProtocolParams &params) override
+    {
+        TokenBMemory::resetState(params);
+        soft_.clear();
+    }
+
   protected:
     void handleTransient(const Message &msg) override;
 
   private:
-    std::unordered_map<Addr, SoftState> soft_;
+    BlockMap<SoftState> soft_;
 };
 
 /** The null performance protocol: persistent requests do all the work. */

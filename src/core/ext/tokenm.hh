@@ -15,6 +15,7 @@
 #ifndef TOKENSIM_CORE_EXT_TOKENM_HH
 #define TOKENSIM_CORE_EXT_TOKENM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -46,6 +47,13 @@ class DestSetPredictor
         }
         if (node < 64)
             e.mask |= (std::uint64_t{1} << node);
+    }
+
+    /** Forget all training (reusable-System path). */
+    void
+    clear()
+    {
+        std::fill(table_.begin(), table_.end(), Entry{});
     }
 
     /**
@@ -111,6 +119,16 @@ class TokenMCache : public TokenBCache
     /** Multicasts sent vs. broadcast fallbacks (for the ablation). */
     std::uint64_t multicasts() const { return multicasts_; }
     std::uint64_t broadcastFallbacks() const { return fallbacks_; }
+
+    void
+    resetState(const ProtocolParams &params,
+               std::uint64_t seed) override
+    {
+        TokenBCache::resetState(params, seed);
+        predictor_.clear();
+        multicasts_ = 0;
+        fallbacks_ = 0;
+    }
 
   protected:
     void issueTransient(Addr addr, const Transaction &trans,

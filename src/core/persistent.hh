@@ -27,8 +27,10 @@
 #include <deque>
 #include <unordered_map>
 
+#include "mem/block_map.hh"
 #include "net/message.hh"
 #include "proto/context.hh"
+#include "sim/small_queue.hh"
 #include "sim/types.hh"
 
 namespace tokensim {
@@ -63,6 +65,15 @@ class PersistentArbiter
     void handleMessage(const Message &msg);
 
     const ArbiterStats &stats() const { return arbStats_; }
+
+    /** Drop all per-block state and statistics (reusable-System
+     *  path). */
+    void
+    reset()
+    {
+        blocks_.clear();
+        arbStats_ = ArbiterStats{};
+    }
 
     /** Requester whose persistent request is active for @p addr, or
      *  invalidNode. */
@@ -102,7 +113,7 @@ class PersistentArbiter
         NodeId requester = invalidNode;
         int acksPending = 0;
         bool doneReceived = false;
-        std::deque<NodeId> queue;
+        SmallQueue<NodeId> queue;
     };
 
     void onRequest(const Message &msg);
@@ -120,7 +131,7 @@ class PersistentArbiter
 
     ProtoContext &ctx_;
     NodeId id_;
-    std::unordered_map<Addr, BlockArb> blocks_;
+    BlockMap<BlockArb> blocks_;
     ArbiterStats arbStats_;
 };
 

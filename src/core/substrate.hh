@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/token_state.hh"
+#include "mem/block_map.hh"
 #include "net/message.hh"
 #include "sim/types.hh"
 
@@ -81,6 +82,15 @@ class TokenAuditor
 
     /** Register a cache or memory controller for inspection. */
     void addHolder(const TokenHolder *h) { holders_.push_back(h); }
+
+    /** Forget all in-flight and touched-block state; registered
+     *  holders stay (the reusable-System path keeps controllers). */
+    void
+    reset()
+    {
+        inFlight_.clear();
+        touched_.clear();
+    }
 
     /** Note a block exists (blocks with no traffic are still audited). */
     void
@@ -145,7 +155,7 @@ class TokenAuditor
     int t_;
     std::uint32_t blockBytes_;
     std::vector<const TokenHolder *> holders_;
-    std::unordered_map<Addr, Flight> inFlight_;
+    BlockMap<Flight> inFlight_;
     std::set<Addr> touched_;
 };
 

@@ -27,6 +27,21 @@ TokenBCache::TokenBCache(ProtoContext &ctx, NodeId id,
 }
 
 void
+TokenBCache::resetState(const ProtocolParams &params,
+                        std::uint64_t seed)
+{
+    assert(params.tokensPerBlock == params_.tokensPerBlock);
+    params_ = params;
+    rng_ = Rng(seed);
+    l2_.clear();
+    outstanding_.clear();
+    persistentTable_.clear();
+    persistDoneSent_.clear();
+    avgMissLatency_ = Ewma(0.2);
+    stats_ = CacheCtrlStats{};
+}
+
+void
 TokenBCache::request(const ProcRequest &req)
 {
     const Addr ba = ctx_.blockAlign(req.addr);
@@ -86,10 +101,12 @@ TokenBCache::issueTransient(Addr addr, const Transaction &trans,
     msg.requester = id_;
     if (reissue)
         ++stats_.reissueMessages;
-    trace(strformat("%s transient %s for %#lx",
-                    reissue ? "reissue" : "issue",
-                    msgTypeName(msg.type),
-                    static_cast<unsigned long>(addr)));
+    if (tracing()) {
+        trace(strformat("%s transient %s for %#lx",
+                        reissue ? "reissue" : "issue",
+                        msgTypeName(msg.type),
+                        static_cast<unsigned long>(addr)));
+    }
 
     // Failure injection: performance protocols have no correctness
     // obligations (Section 4.1), so the tests deliberately sabotage
@@ -369,8 +386,10 @@ TokenBCache::invokePersistent(Addr addr, Transaction &trans)
 {
     trans.persistentIssued = true;
     ++stats_.persistentInvocations;
-    trace(strformat("invoke persistent request for %#lx",
-                    static_cast<unsigned long>(addr)));
+    if (tracing()) {
+        trace(strformat("invoke persistent request for %#lx",
+                        static_cast<unsigned long>(addr)));
+    }
     Message msg;
     msg.type = MsgType::persistReq;
     msg.cls = MsgClass::persistent;
@@ -520,7 +539,8 @@ TokenBCache::sendTokenMsg(Message msg, Tick delay)
 {
     if (auditor_)
         auditor_->onSend(msg);
-    trace("send " + msg.toString());
+    if (tracing())
+        trace("send " + msg.toString());
     msg.src = id_;
     ctx_.eq->scheduleIn(delay, [this, msg]() { ctx_.net->unicast(msg); });
 }
@@ -588,6 +608,18 @@ TokenBMemory::TokenBMemory(ProtoContext &ctx, NodeId id,
       dram_(ctx.dram),
       arbiter_(ctx, id)
 {
+}
+
+void
+TokenBMemory::resetState(const ProtocolParams &params)
+{
+    assert(params.tokensPerBlock == params_.tokensPerBlock);
+    params_ = params;
+    store_.clear();
+    dram_ = Dram(ctx_.dram);
+    arbiter_.reset();
+    tokens_.clear();
+    persistentTable_.clear();
 }
 
 TokenCount &

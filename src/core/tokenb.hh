@@ -34,6 +34,7 @@
 #include "core/persistent.hh"
 #include "core/substrate.hh"
 #include "core/token_state.hh"
+#include "mem/block_map.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "proto/controller.hh"
@@ -72,6 +73,8 @@ class TokenBCache : public CacheController, public TokenHolder
     void request(const ProcRequest &req) override;
     void handleMessage(const Message &msg) override;
     bool hasPermission(Addr addr, MemOp op) const override;
+    void resetState(const ProtocolParams &params,
+                    std::uint64_t seed) override;
 
     // TokenHolder
     int tokensHeld(Addr block_addr) const override;
@@ -152,18 +155,18 @@ class TokenBCache : public CacheController, public TokenHolder
     TokenAuditor *auditor_;
     Rng rng_;
     CacheArray<TokenLine> l2_;
-    std::unordered_map<Addr, Transaction> outstanding_;
+    BlockMap<Transaction> outstanding_;
 
     /**
      * Active persistent requests this node knows about (the paper's
      * per-node hardware table): block -> starving requester. All
      * tokens for these blocks are forwarded to the requester.
      */
-    std::unordered_map<Addr, NodeId> persistentTable_;
+    BlockMap<NodeId> persistentTable_;
 
     /** Blocks whose active persistent request we already released
      *  (one persistDone per activation). */
-    std::unordered_set<Addr> persistDoneSent_;
+    BlockSet persistDoneSent_;
 
     Ewma avgMissLatency_;
 };
@@ -182,6 +185,7 @@ class TokenBMemory : public MemoryController, public TokenHolder
 
     void handleMessage(const Message &msg) override;
     std::uint64_t peekData(Addr addr) const override;
+    void resetState(const ProtocolParams &params) override;
 
     // TokenHolder
     int tokensHeld(Addr block_addr) const override;
@@ -216,8 +220,8 @@ class TokenBMemory : public MemoryController, public TokenHolder
     BackingStore store_;
     Dram dram_;
     PersistentArbiter arbiter_;
-    std::unordered_map<Addr, TokenCount> tokens_;
-    std::unordered_map<Addr, NodeId> persistentTable_;
+    BlockMap<TokenCount> tokens_;
+    BlockMap<NodeId> persistentTable_;
 };
 
 } // namespace tokensim

@@ -25,6 +25,30 @@ Sequencer::Sequencer(ProtoContext &ctx, NodeId id,
 }
 
 void
+Sequencer::reset(const SequencerParams &params,
+                 std::unique_ptr<Workload> workload,
+                 std::uint64_t op_budget, std::uint64_t seed)
+{
+    params_ = params;
+    workload_ = std::move(workload);
+    opBudget_ = op_budget;
+    rng_ = Rng(seed);
+    l1_.clear();
+    busyBlocks_.clear();
+    outstanding_ = 0;
+    issueScheduled_ = false;
+    nextIssueAllowed_ = 0;
+    nextReqId_ = 1;
+    issuedCtl_ = 0;
+    completedCtl_ = 0;
+    stalled_ = false;
+    stalledOp_ = WorkloadOp{};
+    milestone_ = 0;
+    milestoneCounter_ = nullptr;
+    stats_ = SequencerStats{};
+}
+
+void
 Sequencer::start()
 {
     wakeIssuer(ctx_.now() + 1);
@@ -89,8 +113,7 @@ Sequencer::tryIssue()
                 ctx_.eq->scheduleIn(params_.l1.latency, [this, ba]() {
                     busyBlocks_.erase(ba);
                     --outstanding_;
-                    ++completedCtl_;
-                    ++stats_.opsCompleted;
+                    noteCompleted();
                     stats_.opLatency.add(
                         static_cast<double>(params_.l1.latency));
                     wakeIssuer(ctx_.now() + 1);
@@ -125,8 +148,7 @@ Sequencer::onComplete(const ProcResponse &resp)
     assert(busyBlocks_.count(ba));
     busyBlocks_.erase(ba);
     --outstanding_;
-    ++completedCtl_;
-    ++stats_.opsCompleted;
+    noteCompleted();
     stats_.opLatency.add(
         static_cast<double>(resp.completedAt - resp.issuedAt));
     if (observer_)

@@ -23,6 +23,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "mem/block_map.hh"
 #include "mem/cache.hh"
 #include "proto/controller.hh"
 #include "sim/random.hh"
@@ -91,11 +92,39 @@ class Sequencer
     /** Begin issuing (schedules the first issue event). */
     void start();
 
+    /**
+     * Reinitialize to exactly match a freshly constructed sequencer
+     * with @p params, @p workload, @p op_budget, and RNG seed
+     * @p seed, keeping the L1 array storage (the L1 geometry in
+     * @p params must match construction; timing knobs may differ).
+     * The controller callbacks installed at construction stay valid
+     * (reusable-System path).
+     */
+    void reset(const SequencerParams &params,
+               std::unique_ptr<Workload> workload,
+               std::uint64_t op_budget, std::uint64_t seed);
+
     /** All budgeted operations have completed. */
     bool done() const { return completedCtl_ >= opBudget_; }
 
     /** Operations completed since construction (warmup included). */
     std::uint64_t completedOps() const { return completedCtl_; }
+
+    /**
+     * Arm a completion milestone: when the completed-op count reaches
+     * @p at, increment @p counter once. If the count is already
+     * there, the increment happens immediately. The System uses this
+     * so its run loop can poll one counter instead of querying every
+     * sequencer after every event.
+     */
+    void
+    setMilestone(std::uint64_t at, std::uint64_t *counter)
+    {
+        milestone_ = at;
+        milestoneCounter_ = counter;
+        if (counter && completedCtl_ >= at)
+            ++*counter;
+    }
 
     /** Zero the reported statistics (end-of-warmup measurement
      *  boundary); control state (budget progress) is unaffected. */
@@ -125,6 +154,16 @@ class Sequencer
         std::uint64_t data = 0;
     };
 
+    /** Bump counters for one completed operation. */
+    void
+    noteCompleted()
+    {
+        ++completedCtl_;
+        ++stats_.opsCompleted;
+        if (milestoneCounter_ && completedCtl_ == milestone_)
+            ++*milestoneCounter_;
+    }
+
     /** Issue loop: issue ops while slots and budget allow. */
     void tryIssue();
 
@@ -147,13 +186,15 @@ class Sequencer
     void wakeIssuer(Tick when);
 
     /** Blocks with an operation in flight (same-block serialization). */
-    std::unordered_set<Addr> busyBlocks_;
+    BlockSet busyBlocks_;
     int outstanding_ = 0;
     bool issueScheduled_ = false;
     Tick nextIssueAllowed_ = 0;
     std::uint64_t nextReqId_ = 1;
     std::uint64_t issuedCtl_ = 0;
     std::uint64_t completedCtl_ = 0;
+    std::uint64_t milestone_ = 0;
+    std::uint64_t *milestoneCounter_ = nullptr;
 
     /** A deferred op waiting for its block to free up. */
     bool stalled_ = false;

@@ -33,6 +33,24 @@ runOnce(SystemConfig cfg, std::uint64_t seed)
     return sys.results();
 }
 
+System::Results
+runOnceReusing(std::unique_ptr<System> &sys, SystemConfig cfg,
+               std::uint64_t seed, bool trust_factory)
+{
+    cfg.seed = seed;
+    try {
+        if (!sys || !sys->reset(cfg, trust_factory))
+            sys = std::make_unique<System>(cfg);
+        sys->run();
+        return sys->results();
+    } catch (...) {
+        // A System that threw mid-construction or mid-run is not in a
+        // reusable state.
+        sys.reset();
+        throw;
+    }
+}
+
 ExperimentResult
 aggregateResults(const std::vector<System::Results> &runs,
                  const std::string &label)

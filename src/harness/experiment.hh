@@ -68,6 +68,20 @@ struct ExperimentSpec
 System::Results runOnce(SystemConfig cfg, std::uint64_t seed);
 
 /**
+ * Like runOnce(), but reuse @p sys when possible: if it exists and
+ * System::reset() accepts the config shape, the run reinitializes it
+ * in place (no per-shard allocation churn); otherwise a fresh System
+ * is constructed into @p sys. Either way @p sys holds the ran System
+ * afterwards — except on error, where it is dropped (a half-run
+ * System must not be reused) and the exception propagates.
+ * @p trust_factory is forwarded to System::reset() — pass true only
+ * when @p cfg is the very config object @p sys last ran.
+ */
+System::Results runOnceReusing(std::unique_ptr<System> &sys,
+                               SystemConfig cfg, std::uint64_t seed,
+                               bool trust_factory = false);
+
+/**
  * Fold per-seed raw results into the aggregated metrics the figures
  * use. Deterministic: depends only on @p runs order, which callers fix
  * to seed order regardless of execution order.

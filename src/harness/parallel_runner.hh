@@ -15,6 +15,12 @@
  * thread count or scheduling order. This is the harness-level echo of
  * the paper's thesis: correctness (the result) is decoupled from the
  * performance policy (how shards are scheduled).
+ *
+ * Each worker keeps one reusable System arena: consecutive shards
+ * whose configs share a structural shape re-initialize it in place
+ * (System::reset) instead of rebuilding caches, queues, and network
+ * state per shard — reset is bit-identical to fresh construction
+ * (tests/test_parallel_runner.cc enforces both properties).
  */
 
 #ifndef TOKENSIM_HARNESS_PARALLEL_RUNNER_HH

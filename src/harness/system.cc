@@ -47,6 +47,10 @@ System::System(const SystemConfig &cfg)
 
     addrMap_.blockBytes = cfg_.blockBytes;
 
+    // The seeder draw order below (one draw per node for controllers,
+    // then a workload draw and a sequencer draw per node) is the seed
+    // contract: reset() replays exactly the same sequence so a reused
+    // System is bit-identical to a fresh one.
     Rng seeder(cfg_.seed);
     for (int i = 0; i < cfg_.numNodes; ++i) {
         const auto id = static_cast<NodeId>(i);
@@ -57,20 +61,116 @@ System::System(const SystemConfig &cfg)
     }
     for (int i = 0; i < cfg_.numNodes; ++i) {
         const auto id = static_cast<NodeId>(i);
+        const std::uint64_t wl_seed = seeder.next();
+        const std::uint64_t seq_seed = seeder.next();
         sequencers_.push_back(std::make_unique<Sequencer>(
             ctx_, id, caches_[i].get(),
-            makeWorkload(id, seeder.next()), cfg_.seq,
+            makeWorkload(id, wl_seed), cfg_.seq,
             cfg_.opsPerProcessor + cfg_.warmupOpsPerProcessor,
-            seeder.next()));
+            seq_seed));
     }
+}
+
+namespace {
+
+/** Equal cache geometry; latency is a runtime knob (read via ctx). */
+bool
+sameCacheGeometry(const CacheParams &a, const CacheParams &b)
+{
+    return a.sizeBytes == b.sizeBytes && a.assoc == b.assoc &&
+        a.blockBytes == b.blockBytes;
+}
+
+/**
+ * True if @p b describes a system with the same structural shape as
+ * @p a: only what is baked into the constructed component graph must
+ * match — node count, topology, protocol (controller types), cache
+ * geometry, token count (sized into the auditor and controllers),
+ * and predictor table size. Every other knob (seed, op budgets,
+ * workload selection, network/DRAM timing, reissue policy, maxTicks)
+ * is runtime state that reset() reapplies.
+ */
+bool
+sameShape(const SystemConfig &a, const SystemConfig &b,
+          bool trust_factory)
+{
+    if (!trust_factory && (a.workloadFactory || b.workloadFactory))
+        return false;   // std::function targets are not comparable
+    if (static_cast<bool>(a.workloadFactory) !=
+        static_cast<bool>(b.workloadFactory))
+        return false;
+    return a.numNodes == b.numNodes && a.topology == b.topology &&
+        a.protocol == b.protocol &&
+        a.proto.tokensPerBlock == b.proto.tokensPerBlock &&
+        a.proto.predictorEntries == b.proto.predictorEntries &&
+        sameCacheGeometry(a.l2, b.l2) &&
+        sameCacheGeometry(a.seq.l1, b.seq.l1) &&
+        a.blockBytes == b.blockBytes &&
+        a.attachAuditor == b.attachAuditor;
+}
+
+} // namespace
+
+bool
+System::reset(const SystemConfig &cfg, bool trust_factory)
+{
+    if (!sameShape(cfg_, cfg, trust_factory))
+        return false;
+    cfg_ = cfg;
+
+    // Refresh the runtime knobs the components read through the
+    // shared context.
+    ctx_.blockBytes = cfg_.blockBytes;
+    ctx_.ctrlLatency = cfg_.ctrlLatency;
+    ctx_.l2 = cfg_.l2;
+    ctx_.dram = cfg_.dram;
+    addrMap_.blockBytes = cfg_.blockBytes;
+
+    eq_.reset();
+    net_->reset(cfg_.net);
+    if (auditor_)
+        auditor_->reset();
+    measureStart_ = 0;
+
+    // Replay the constructor's exact seeding sequence.
+    const ProtocolParams proto = effectiveProtoParams();
+    Rng seeder(cfg_.seed);
+    for (int i = 0; i < cfg_.numNodes; ++i) {
+        const std::uint64_t ctrl_seed = seeder.next();
+        caches_[static_cast<std::size_t>(i)]->resetState(proto,
+                                                         ctrl_seed);
+        memories_[static_cast<std::size_t>(i)]->resetState(proto);
+    }
+    for (int i = 0; i < cfg_.numNodes; ++i) {
+        const auto id = static_cast<NodeId>(i);
+        const std::uint64_t wl_seed = seeder.next();
+        const std::uint64_t seq_seed = seeder.next();
+        sequencers_[static_cast<std::size_t>(i)]->reset(
+            cfg_.seq, makeWorkload(id, wl_seed),
+            cfg_.opsPerProcessor + cfg_.warmupOpsPerProcessor,
+            seq_seed);
+    }
+    return true;
 }
 
 System::~System() = default;
 
+ProtocolParams
+System::effectiveProtoParams() const
+{
+    ProtocolParams p = cfg_.proto;
+    if (cfg_.protocol == ProtocolKind::tokenNull) {
+        // The null performance protocol relies entirely on persistent
+        // requests; pointless reissue timeouts are skipped.
+        p.maxReissues = 0;
+    }
+    return p;
+}
+
 void
 System::buildControllers(NodeId id, std::uint64_t seed)
 {
-    ProtocolParams p = cfg_.proto;
+    ProtocolParams p = effectiveProtoParams();
     TokenAuditor *aud = auditor_.get();
 
     switch (cfg_.protocol) {
@@ -113,9 +213,6 @@ System::buildControllers(NodeId id, std::uint64_t seed)
             std::make_unique<TokenDMemory>(ctx_, id, p, aud));
         break;
       case ProtocolKind::tokenNull:
-        // The null performance protocol relies entirely on persistent
-        // requests; pointless reissue timeouts are skipped.
-        p.maxReissues = 0;
         caches_.push_back(
             std::make_unique<TokenNullCache>(ctx_, id, p, aud, seed));
         memories_.push_back(
@@ -182,16 +279,30 @@ System::run()
     for (auto &s : sequencers_)
         s->start();
 
+    // The run loop's stop predicates poll one milestone counter that
+    // sequencers bump on the relevant completion, instead of asking
+    // every sequencer after every event (that scan was a measurable
+    // fraction of total simulation time on wide systems). The guard
+    // disarms the milestones on every exit path — the counters live
+    // on this frame, and a throwing handler must not leave dangling
+    // pointers behind in the sequencers.
+    const auto n = static_cast<std::uint64_t>(sequencers_.size());
+    struct MilestoneGuard
+    {
+        std::vector<std::unique_ptr<Sequencer>> &seqs;
+        ~MilestoneGuard()
+        {
+            for (auto &s : seqs)
+                s->setMilestone(0, nullptr);
+        }
+    } guard{sequencers_};
+
     if (cfg_.warmupOpsPerProcessor > 0) {
-        const std::uint64_t warm = cfg_.warmupOpsPerProcessor;
+        std::uint64_t warmCount = 0;
+        for (auto &s : sequencers_)
+            s->setMilestone(cfg_.warmupOpsPerProcessor, &warmCount);
         const bool warmed = eq_.runUntil(
-            [this, warm]() {
-                for (const auto &s : sequencers_) {
-                    if (s->completedOps() < warm)
-                        return false;
-                }
-                return true;
-            },
+            [&warmCount, n]() { return warmCount >= n; },
             cfg_.maxTicks);
         if (!warmed) {
             throw std::runtime_error(
@@ -200,8 +311,16 @@ System::run()
         resetStats();
     }
 
+    std::uint64_t doneCount = 0;
+    for (auto &s : sequencers_) {
+        s->setMilestone(
+            cfg_.opsPerProcessor + cfg_.warmupOpsPerProcessor,
+            &doneCount);
+    }
     const bool finished = eq_.runUntil(
-        [this]() { return allDone(); }, cfg_.maxTicks);
+        [&doneCount, n]() { return doneCount >= n; }, cfg_.maxTicks);
+    for (auto &s : sequencers_)
+        s->setMilestone(0, nullptr);
     if (!finished) {
         throw std::runtime_error(
             "simulation exceeded maxTicks before completing - "

@@ -148,6 +148,28 @@ class System
      */
     void run();
 
+    /**
+     * Reinitialize this System in place for @p cfg — bit-identically
+     * equivalent to destroying it and constructing System(cfg), but
+     * reusing every large allocation (cache arrays, event-queue
+     * buckets, network pools, cached topology trees). This is the
+     * reusable-System path the ParallelRunner drives per worker:
+     * per-shard construction cost drops to a state wipe.
+     *
+     * Only possible when @p cfg has the same structural shape as the
+     * config this System was built with (same node count, topology,
+     * protocol and its parameters, cache/network/DRAM geometry);
+     * runtime knobs (seed, op counts, workload preset) may differ
+     * freely. @p trust_factory says the caller guarantees
+     * cfg.workloadFactory is the same factory this System already
+     * uses (std::function is not comparable); the runner passes true
+     * when reusing within one spec.
+     *
+     * @return true if the System was reset and is ready to run();
+     *         false if the shape differs (construct a fresh System).
+     */
+    bool reset(const SystemConfig &cfg, bool trust_factory = false);
+
     /** Run at most until @p tick (for incremental test control). */
     void runUntilTick(Tick tick) { eq_.run(tick); }
 
@@ -227,6 +249,11 @@ class System
     std::unique_ptr<Workload> makeWorkload(NodeId node,
                                            std::uint64_t seed);
     void buildControllers(NodeId id, std::uint64_t seed);
+
+    /** cfg_.proto with protocol-specific fixups applied (tokenNull
+     *  disables reissue timers); what controllers are built/reset
+     *  with. */
+    ProtocolParams effectiveProtoParams() const;
 
     SystemConfig cfg_;
     EventQueue eq_;

@@ -8,11 +8,18 @@
  * paper notes tokens are held "in processor caches (e.g., part of tag
  * state)"). Replacement victims are returned to the caller, which must
  * take protocol action (write back data, return tokens to the home).
+ *
+ * Lookup is structure-of-arrays: the block tags and LRU stamps live in
+ * their own contiguous arrays, so a set probe scans assoc consecutive
+ * tag words (one cache line for a 4-way set) without dragging the full
+ * protocol Line payloads through the data cache. touch() — the hottest
+ * call in the whole simulator — only dereferences a payload on a hit.
  */
 
 #ifndef TOKENSIM_MEM_CACHE_HH
 #define TOKENSIM_MEM_CACHE_HH
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -37,12 +44,16 @@ struct CacheParams
     }
 };
 
-/** Common bookkeeping every cache line carries. */
+/**
+ * Common bookkeeping every cache line carries. The authoritative tag
+ * and replacement state live in the CacheArray's SoA metadata; these
+ * fields are kept in sync on allocate/invalidate so protocol code and
+ * eviction victims still see the block identity.
+ */
 struct CacheLineBase
 {
     Addr addr = 0;            ///< block-aligned address
     bool valid = false;       ///< tag valid (the line is allocated)
-    std::uint64_t lru = 0;    ///< last-use stamp for replacement
 };
 
 /**
@@ -56,6 +67,10 @@ class CacheArray
     explicit CacheArray(const CacheParams &params)
         : params_(params),
           numSets_(params.numSets()),
+          blockShift_(floorLog2(params.blockBytes)),
+          setMask_(numSets_ - 1),
+          tags_(numSets_ * params.assoc, invalidTag),
+          lruStamp_(numSets_ * params.assoc, 0),
           lines_(numSets_ * params.assoc)
     {
         assert(isPowerOf2(params.blockBytes));
@@ -75,13 +90,8 @@ class CacheArray
     Line *
     find(Addr a)
     {
-        const Addr ba = blockAlign(a);
-        Line *set = setFor(ba);
-        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-            if (set[w].valid && set[w].addr == ba)
-                return &set[w];
-        }
-        return nullptr;
+        const std::size_t i = indexOf(blockAlign(a));
+        return i == notFound ? nullptr : &lines_[i];
     }
 
     const Line *
@@ -94,14 +104,19 @@ class CacheArray
     Line *
     touch(Addr a)
     {
-        Line *l = find(a);
-        if (l)
-            l->lru = ++useCounter_;
-        return l;
+        const std::size_t i = indexOf(blockAlign(a));
+        if (i == notFound)
+            return nullptr;
+        lruStamp_[i] = ++useCounter_;
+        return &lines_[i];
     }
 
     /** True if the block is present. */
-    bool contains(Addr a) const { return find(a) != nullptr; }
+    bool
+    contains(Addr a) const
+    {
+        return indexOf(blockAlign(a)) != notFound;
+    }
 
     /** Replacement victim information from allocate(). */
     struct Victim
@@ -115,46 +130,56 @@ class CacheArray
      * If the set is full, the LRU way is evicted and a copy returned
      * through @p victim so the caller can perform protocol actions
      * (write back dirty data, send tokens home). The returned line is
-     * default-initialized with addr/valid/lru set.
+     * default-initialized with addr/valid set.
+     *
+     * One pass over the set's tags decides everything: presence
+     * (asserted against), the first invalid way, and the LRU victim —
+     * no separate find() probe.
      */
     Line *
     allocate(Addr a, Victim *victim)
     {
         const Addr ba = blockAlign(a);
-        assert(!find(ba) && "allocate of a block already present");
-        Line *set = setFor(ba);
-        Line *way = nullptr;
-        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-            if (!set[w].valid) {
-                way = &set[w];
-                break;
+        const std::size_t base = setBase(ba);
+        std::size_t way = notFound;       // first invalid way
+        std::size_t lruWay = base;        // least-recent valid way
+        std::uint64_t lruMin = ~std::uint64_t{0};
+        for (std::size_t i = base; i < base + params_.assoc; ++i) {
+            if (tags_[i] == ba) {
+                assert(false &&
+                       "allocate of a block already present");
+            } else if (tags_[i] == invalidTag) {
+                if (way == notFound)
+                    way = i;
+            } else if (way == notFound && lruStamp_[i] < lruMin) {
+                lruMin = lruStamp_[i];
+                lruWay = i;
             }
         }
-        if (!way) {
-            way = &set[0];
-            for (std::uint32_t w = 1; w < params_.assoc; ++w) {
-                if (set[w].lru < way->lru)
-                    way = &set[w];
-            }
+        if (way == notFound) {
+            way = lruWay;
             if (victim) {
                 victim->valid = true;
-                victim->line = *way;
+                victim->line = lines_[way];
             }
         }
-        *way = Line{};
-        way->addr = ba;
-        way->valid = true;
-        way->lru = ++useCounter_;
-        return way;
+        tags_[way] = ba;
+        lruStamp_[way] = ++useCounter_;
+        Line &l = lines_[way];
+        l = Line{};
+        l.addr = ba;
+        l.valid = true;
+        return &l;
     }
 
     /** Remove a block (it must be present). */
     void
     invalidate(Addr a)
     {
-        Line *l = find(a);
-        assert(l);
-        *l = Line{};
+        const std::size_t i = indexOf(blockAlign(a));
+        assert(i != notFound);
+        tags_[i] = invalidTag;
+        lines_[i] = Line{};
     }
 
     /** Apply @p fn to every valid line (used by invariant checkers). */
@@ -162,9 +187,9 @@ class CacheArray
     void
     forEachValid(Fn fn)
     {
-        for (auto &l : lines_) {
-            if (l.valid)
-                fn(l);
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (tags_[i] != invalidTag)
+                fn(lines_[i]);
         }
     }
 
@@ -172,9 +197,9 @@ class CacheArray
     void
     forEachValid(Fn fn) const
     {
-        for (const auto &l : lines_) {
-            if (l.valid)
-                fn(l);
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (tags_[i] != invalidTag)
+                fn(lines_[i]);
         }
     }
 
@@ -187,17 +212,74 @@ class CacheArray
         return n;
     }
 
-  private:
-    Line *
-    setFor(Addr block_addr)
+    /**
+     * Invalidate every line and rewind the LRU clock — equivalent to
+     * a freshly constructed array but reusing the (large) tag/stamp/
+     * payload storage. The reusable-System path calls this between
+     * runs.
+     */
+    void
+    clear()
     {
-        const std::uint64_t idx =
-            (block_addr / params_.blockBytes) & (numSets_ - 1);
-        return &lines_[idx * params_.assoc];
+        std::fill(tags_.begin(), tags_.end(), invalidTag);
+        std::fill(lruStamp_.begin(), lruStamp_.end(), 0);
+        // lines_ is deliberately left stale: a payload is never read
+        // until allocate() has rewritten it (tag-miss lines are
+        // unreachable), so wiping tens of megabytes per reset would
+        // buy nothing.
+        useCounter_ = 0;
+    }
+
+  private:
+    /** Tag value of an unallocated way (never a block address: block
+     *  addresses are block-aligned, all-ones is not). */
+    static constexpr Addr invalidTag = ~Addr{0};
+    static constexpr std::size_t notFound = ~std::size_t{0};
+
+    std::size_t
+    setBase(Addr block_addr) const
+    {
+        const std::uint64_t idx = (block_addr >> blockShift_) & setMask_;
+        return static_cast<std::size_t>(idx * params_.assoc);
+    }
+
+    /** Flat way index of @p ba, or notFound. Tag-array scan only. */
+    std::size_t
+    indexOf(Addr ba) const
+    {
+        const std::size_t base = setBase(ba);
+        const Addr *t = &tags_[base];
+        if (params_.assoc == 4) {
+            // The ubiquitous geometry (Table 1 L1 and L2 are both
+            // 4-way): a fixed-trip probe the compiler fully unrolls
+            // over one 32-byte tag group.
+            if (t[0] == ba)
+                return base;
+            if (t[1] == ba)
+                return base + 1;
+            if (t[2] == ba)
+                return base + 2;
+            if (t[3] == ba)
+                return base + 3;
+            return notFound;
+        }
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            if (t[w] == ba)
+                return base + w;
+        }
+        return notFound;
     }
 
     CacheParams params_;
     std::uint64_t numSets_;
+    /** blockBytes and numSets are powers of two: index with
+     *  shift/mask, never a runtime division. */
+    unsigned blockShift_;
+    std::uint64_t setMask_;
+    /** SoA metadata: tags and LRU stamps, contiguous per set. */
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lruStamp_;
+    /** Protocol payloads, touched only on hit/allocate/evict. */
     std::vector<Line> lines_;
     std::uint64_t useCounter_ = 0;
 };

@@ -16,6 +16,7 @@ Network::Network(EventQueue &eq, std::unique_ptr<Topology> topo,
     endpoints_.assign(static_cast<std::size_t>(topo_->numNodes()),
                       nullptr);
     linkFree_.assign(topo_->links().size(), 0);
+    deliveryRing_.resize(deliveryRingSize);
     bcastIndex_.resize(static_cast<std::size_t>(topo_->numNodes()));
 }
 
@@ -24,6 +25,25 @@ Network::attach(NodeId id, NetworkEndpoint *ep)
 {
     assert(id < endpoints_.size());
     endpoints_[id] = ep;
+}
+
+void
+Network::reset(const NetworkParams &params)
+{
+    params_ = params;
+    std::fill(linkFree_.begin(), linkFree_.end(), 0);
+    stats_.clear();
+    orderSeq_ = 0;
+    // A drained system has no pending deliveries or live slots; clear
+    // defensively (capacity is retained either way). Tree caches stay:
+    // they depend only on the topology.
+    for (auto &b : deliveryRing_)
+        b.clear();
+    farDeliveries_.clear();
+    // Recycle all pool chunks: nothing is in flight in a drained
+    // system, so simply rewind the allocation cursor.
+    slotCount_ = 0;
+    freeHead_ = noSlot;
 }
 
 Tick
@@ -52,42 +72,86 @@ Network::account(const Message &msg, std::size_t nlinks)
     ++stats_.messagesByType[static_cast<std::size_t>(msg.type)];
 }
 
+std::uint32_t
+Network::acquireSlot(const Message &m)
+{
+    std::uint32_t s;
+    if (freeHead_ != noSlot) {
+        s = freeHead_;
+        freeHead_ = slotRef(s).nextFree;
+    } else {
+        s = slotCount_++;
+        if ((s >> slotChunkBits) >= slotChunks_.size()) {
+            slotChunks_.push_back(
+                std::make_unique<TransitSlot[]>(slotChunkSize));
+        }
+    }
+    TransitSlot &slot = slotRef(s);
+    slot.msg = m;
+    slot.refs = 1;
+    return s;
+}
+
 void
-Network::scheduleDelivery(NodeId dest, const Message &msg, Tick when)
+Network::scheduleDelivery(NodeId dest, std::uint32_t slot, Tick when)
 {
     assert(endpoints_[dest] &&
            "message sent to node with no attached endpoint");
-    auto &batch = pendingDeliveries_[when];
-    if (batch.empty()) {
+    slotAddRef(slot);
+    std::vector<Delivery> *batch;
+    if (when - eq_.curTick() < deliveryRingSize) {
+        batch = &deliveryRing_[when & deliveryRingMask];
+    } else {
+        batch = &farDeliveries_[when];
+    }
+    if (batch->empty()) {
+        // First delivery landing on this tick: adopt a retired batch
+        // vector (keeps its capacity) and schedule the single flush
+        // event for this tick.
         if (!batchPool_.empty()) {
-            batch = std::move(batchPool_.back());
+            *batch = std::move(batchPool_.back());
             batchPool_.pop_back();
         }
         eq_.schedule(when, [this, when]() { flushDeliveries(when); });
     }
-    batch.push_back(Delivery{dest, msg});
-    batch.back().msg.dest = dest;
+    batch->push_back(Delivery{dest, slot});
 }
 
 void
 Network::flushDeliveries(Tick when)
 {
-    auto it = pendingDeliveries_.find(when);
-    assert(it != pendingDeliveries_.end());
-    // Move the batch out: a handler may send a message whose delivery
-    // lands on this same tick, which opens a fresh batch (and its own
-    // flush event) without disturbing this iteration.
-    std::vector<Delivery> batch = std::move(it->second);
-    pendingDeliveries_.erase(it);
-    for (Delivery &d : batch) {
+    // Move the whole batch out: a handler may send a message whose
+    // delivery lands on this same tick, which opens a fresh batch (and
+    // its own flush event) without disturbing this iteration.
+    std::vector<Delivery> batch;
+    // Far-map batches flush before any same-tick ring batch: every
+    // far entry for this tick was scheduled while the tick was still
+    // beyond the ring horizon, i.e. strictly before any ring entry,
+    // and its flush event was likewise scheduled first — so checking
+    // the far map first preserves exact per-tick scheduling order.
+    auto far = farDeliveries_.find(when);
+    if (far != farDeliveries_.end()) {
+        batch = std::move(far->second);
+        farDeliveries_.erase(far);
+    } else {
+        batch.swap(deliveryRing_[when & deliveryRingMask]);
+    }
+    assert(!batch.empty());
+    for (const Delivery &d : batch) {
         ++stats_.deliveries;
+        // Deliver straight out of the pool: the deque keeps the slot
+        // address stable even if the handler's own sends grow it, and
+        // our reference keeps the slot alive until after deliver().
+        Message &msg = slotRef(d.slot).msg;
+        msg.dest = d.dest;
         stats_.latency.add(
-            static_cast<double>(eq_.curTick() - d.msg.sentAt));
+            static_cast<double>(eq_.curTick() - msg.sentAt));
         if (logging::enabled(logging::Level::trace)) {
             logging::write(logging::Level::trace, eq_.curTick(), "net",
-                           "deliver " + d.msg.toString());
+                           "deliver " + msg.toString());
         }
-        endpoints_[d.dest]->deliver(d.msg);
+        endpoints_[d.dest]->deliver(msg);
+        slotRelease(d.slot);
     }
     batch.clear();
     batchPool_.push_back(std::move(batch));
@@ -108,18 +172,19 @@ Network::crossLink(LinkId link, Tick ser)
 
 void
 Network::hopUnicast(const std::vector<LinkId> *path, std::size_t i,
-                    const Message &msg)
+                    std::uint32_t slot)
 {
-    const Tick ser = serializationTicks(msg.size);
+    const Tick ser = serializationTicks(slotRef(slot).msg.size);
     const Tick head = crossLink((*path)[i], ser);
     if (i + 1 == path->size()) {
         // Tail arrives one serialization delay after the head.
-        scheduleDelivery(msg.dest, msg, head + ser);
+        scheduleDelivery(slotRef(slot).msg.dest, slot, head + ser);
+        slotRelease(slot);
         return;
     }
-    Message copy = msg;
-    eq_.schedule(head, [this, path, i, copy]() {
-        hopUnicast(path, i + 1, copy);
+    // The continuation event inherits this call's slot reference.
+    eq_.schedule(head, [this, path, i, slot]() {
+        hopUnicast(path, i + 1, slot);
     });
 }
 
@@ -130,94 +195,104 @@ Network::unicast(Message msg)
     assert(msg.dest != invalidNode);
     if (msg.dest == msg.src) {
         account(msg, 0);
-        scheduleDelivery(msg.dest, msg,
+        const std::uint32_t slot = acquireSlot(msg);
+        scheduleDelivery(msg.dest, slot,
                          eq_.curTick() + params_.localDelay);
+        slotRelease(slot);
         return;
     }
     const auto &path = topo_->route(msg.src, msg.dest);
     account(msg, path.size());
-    hopUnicast(&path, 0, msg);
+    hopUnicast(&path, 0, acquireSlot(msg));
 }
 
 // ---------------------------------------------------------------------
 // Tree forwarding (broadcast / multicast)
 // ---------------------------------------------------------------------
 
-std::shared_ptr<const Network::TreeIndex>
+Network::TreeIndex
 Network::buildTreeIndex(std::vector<TreeEdge> edges, int src_vertex)
 {
-    auto idx = std::make_shared<TreeIndex>();
-    idx->edges = std::move(edges);
-    idx->children.resize(idx->edges.size());
+    TreeIndex idx;
+    idx.edges = std::move(edges);
+    idx.children.resize(idx.edges.size());
     std::unordered_map<int, int> edge_to;   // vertex -> edge reaching it
-    for (std::size_t i = 0; i < idx->edges.size(); ++i)
-        edge_to[idx->edges[i].to] = static_cast<int>(i);
-    for (std::size_t i = 0; i < idx->edges.size(); ++i) {
-        const TreeEdge &e = idx->edges[i];
+    for (std::size_t i = 0; i < idx.edges.size(); ++i)
+        edge_to[idx.edges[i].to] = static_cast<int>(i);
+    for (std::size_t i = 0; i < idx.edges.size(); ++i) {
+        const TreeEdge &e = idx.edges[i];
         if (e.from == src_vertex) {
-            idx->rootEdges.push_back(static_cast<int>(i));
+            idx.rootEdges.push_back(static_cast<int>(i));
         } else {
             auto it = edge_to.find(e.from);
             assert(it != edge_to.end() &&
                    "tree edge with unreachable parent");
-            idx->children[static_cast<std::size_t>(it->second)]
+            idx.children[static_cast<std::size_t>(it->second)]
                 .push_back(static_cast<int>(i));
         }
     }
     return idx;
 }
 
-const std::shared_ptr<const Network::TreeIndex> &
+const Network::TreeIndex &
 Network::broadcastIndex(NodeId src)
 {
     auto &slot = bcastIndex_[src];
     if (!slot) {
-        slot = buildTreeIndex(topo_->broadcastTree(src),
-                              static_cast<int>(src));
+        slot = std::make_unique<const TreeIndex>(buildTreeIndex(
+            topo_->broadcastTree(src), static_cast<int>(src)));
     }
-    return slot;
+    return *slot;
 }
 
-const std::shared_ptr<const Network::TreeIndex> &
+const Network::TreeIndex &
 Network::downIndex()
 {
     if (!downIndex_) {
-        downIndex_ =
-            buildTreeIndex(topo_->downTree(), topo_->rootVertex());
+        downIndex_ = std::make_unique<const TreeIndex>(
+            buildTreeIndex(topo_->downTree(), topo_->rootVertex()));
     }
-    return downIndex_;
+    return *downIndex_;
 }
 
 void
-Network::transmitEdge(std::shared_ptr<const TreeIndex> idx, int ei,
-                      const Message &msg,
-                      std::shared_ptr<const std::vector<bool>> want)
+Network::transmitEdge(const TreeIndex *idx, int ei, std::uint32_t slot,
+                      const std::shared_ptr<const MulticastState> &mc)
 {
     const TreeEdge &e = idx->edges[static_cast<std::size_t>(ei)];
-    const Tick ser = serializationTicks(msg.size);
+    const Tick ser = serializationTicks(slotRef(slot).msg.size);
     const Tick head = crossLink(e.link, ser);
 
     const int num_nodes = topo_->numNodes();
     if (e.to < num_nodes &&
-        (!want || (*want)[static_cast<std::size_t>(e.to)])) {
-        scheduleDelivery(static_cast<NodeId>(e.to), msg, head + ser);
+        (!mc || mc->want[static_cast<std::size_t>(e.to)])) {
+        scheduleDelivery(static_cast<NodeId>(e.to), slot, head + ser);
     }
     if (!idx->children[static_cast<std::size_t>(ei)].empty()) {
-        Message copy = msg;
-        eq_.schedule(head, [this, idx, ei, copy, want]() {
-            for (int ci : idx->children[static_cast<std::size_t>(ei)])
-                transmitEdge(idx, ci, copy, want);
+        // The fan-out event inherits this call's slot reference.
+        eq_.schedule(head, [this, idx, ei, slot, mc]() {
+            const auto &kids =
+                idx->children[static_cast<std::size_t>(ei)];
+            for (int ci : kids) {
+                slotAddRef(slot);
+                transmitEdge(idx, ci, slot, mc);
+            }
+            slotRelease(slot);
         });
+    } else {
+        slotRelease(slot);
     }
 }
 
 void
-Network::launchTree(const std::shared_ptr<const TreeIndex> &idx,
-                    const Message &msg,
-                    std::shared_ptr<const std::vector<bool>> want)
+Network::launchTree(const TreeIndex *idx, std::uint32_t slot,
+                    const std::shared_ptr<const MulticastState> &mc)
 {
-    for (int ei : idx->rootEdges)
-        transmitEdge(idx, ei, msg, want);
+    for (int ei : idx->rootEdges) {
+        slotAddRef(slot);
+        transmitEdge(idx, ei, slot, mc);
+    }
+    slotRelease(slot);
 }
 
 void
@@ -225,32 +300,37 @@ Network::multicast(Message msg, const std::vector<NodeId> &dests)
 {
     finalize(msg);
     msg.isBroadcast = true;
-    auto want = std::make_shared<std::vector<bool>>(
-        static_cast<std::size_t>(topo_->numNodes()), false);
+    auto state = std::make_shared<MulticastState>();
+    state->want.assign(static_cast<std::size_t>(topo_->numNodes()),
+                       false);
     bool self = false;
     std::vector<NodeId> remote;
     remote.reserve(dests.size());
     for (NodeId d : dests) {
         if (d == msg.src) {
             self = true;
-        } else if (!(*want)[d]) {
-            (*want)[d] = true;
+        } else if (!state->want[d]) {
+            state->want[d] = true;
             remote.push_back(d);
         }
     }
+    const std::uint32_t slot = acquireSlot(msg);
     if (!remote.empty()) {
-        auto idx = buildTreeIndex(
+        state->idx = buildTreeIndex(
             topo_->multicastTree(msg.src, remote),
             static_cast<int>(msg.src));
-        account(msg, idx->edges.size());
-        launchTree(idx, msg, want);
+        account(msg, state->idx.edges.size());
+        slotAddRef(slot);
+        const TreeIndex *idx = &state->idx;
+        launchTree(idx, slot, std::move(state));
     } else {
         account(msg, 0);
     }
     if (self) {
-        scheduleDelivery(msg.src, msg,
+        scheduleDelivery(msg.src, slot,
                          eq_.curTick() + params_.localDelay);
     }
+    slotRelease(slot);
 }
 
 void
@@ -258,12 +338,15 @@ Network::broadcast(Message msg)
 {
     finalize(msg);
     msg.isBroadcast = true;
-    const auto &idx = broadcastIndex(msg.src);
-    account(msg, idx->edges.size());
-    launchTree(idx, msg, nullptr);
+    const TreeIndex &idx = broadcastIndex(msg.src);
+    account(msg, idx.edges.size());
+    const std::uint32_t slot = acquireSlot(msg);
+    slotAddRef(slot);
+    launchTree(&idx, slot, nullptr);
     // The sender's own node (cache controller and, if it is the home,
     // memory controller) observes the broadcast locally.
-    scheduleDelivery(msg.src, msg, eq_.curTick() + params_.localDelay);
+    scheduleDelivery(msg.src, slot, eq_.curTick() + params_.localDelay);
+    slotRelease(slot);
 }
 
 // ---------------------------------------------------------------------
@@ -286,33 +369,36 @@ Network::broadcastOrdered(Message msg)
 
     // Phase 1: climb to the root switch hop by hop. The root receives
     // the full message (head + serialization) before ordering it.
-    climbToRoot(&up, 0, msg, serializationTicks(msg.size));
+    climbToRoot(&up, 0, acquireSlot(msg),
+                serializationTicks(msg.size));
 }
 
 void
 Network::climbToRoot(const std::vector<LinkId> *up, std::size_t i,
-                     const Message &msg, Tick ser)
+                     std::uint32_t slot, Tick ser)
 {
     if (i == up->size()) {
         // Phase 2: take the next slot in the global total order and
         // fan out to every node — including the sender. Root events
         // execute in tick order (FIFO within a tick), which is what
-        // serializes racing broadcasts.
-        Message ordered = msg;
+        // serializes racing broadcasts. The climb owns the transit
+        // slot exclusively, so the sequence number is stamped in
+        // place.
+        Message &ordered = slotRef(slot).msg;
         ordered.seq = orderSeq_++;
-        const auto &idx = downIndex();
+        const TreeIndex &idx = downIndex();
         auto &cls =
             stats_.byClass[static_cast<std::size_t>(ordered.cls)];
         cls.byteLinks += static_cast<std::uint64_t>(ordered.size) *
-            idx->edges.size();
-        launchTree(idx, ordered, nullptr);
+            idx.edges.size();
+        launchTree(&idx, slot, nullptr);
         return;
     }
     const Tick head = crossLink((*up)[i], ser);
-    Message copy = msg;
+    // The continuation event inherits this call's slot reference.
     eq_.schedule(head + (i + 1 == up->size() ? ser : 0),
-                 [this, up, i, copy, ser]() {
-        climbToRoot(up, i + 1, copy, ser);
+                 [this, up, i, slot, ser]() {
+        climbToRoot(up, i + 1, slot, ser);
     });
 }
 

@@ -14,6 +14,12 @@
  *
  * The "unlimited bandwidth" configuration used for the dark-grey bars of
  * Figure 4a/5a zeroes serialization and occupancy, leaving pure latency.
+ *
+ * In-flight messages are pooled: a send copies the Message once into a
+ * refcounted transit slot, and every forwarding event / batched
+ * delivery carries only the 4-byte slot index. Slots recycle through a
+ * free list, so the steady-state network neither allocates nor copies
+ * Messages hop by hop.
  */
 
 #ifndef TOKENSIM_NET_NETWORK_HH
@@ -165,6 +171,16 @@ class Network
     /** Serialization delay in ticks for a message of @p bytes. */
     Tick serializationTicks(std::uint32_t bytes) const;
 
+    /**
+     * Return to the just-constructed state with (possibly different)
+     * link parameters @p params — clock-zero link occupancy, zeroed
+     * traffic stats and ordering sequence, an empty transit pool —
+     * while keeping the cached topology trees and all grown
+     * pool/batch storage. The reusable-System path calls this
+     * between runs.
+     */
+    void reset(const NetworkParams &params);
+
   private:
     /**
      * A forwarding tree in event-friendly form: edges plus, for each
@@ -178,15 +194,26 @@ class Network
         std::vector<int> rootEdges;
     };
 
+    /**
+     * Keep-alive state for one in-flight multicast: the ad-hoc tree
+     * (built per send, unlike the cached broadcast trees) and the
+     * destination filter. Referenced by the forwarding events.
+     */
+    struct MulticastState
+    {
+        TreeIndex idx;
+        std::vector<bool> want;
+    };
+
     /** Build the child adjacency for a forward-ordered edge list. */
-    static std::shared_ptr<const TreeIndex>
-    buildTreeIndex(std::vector<TreeEdge> edges, int src_vertex);
+    static TreeIndex buildTreeIndex(std::vector<TreeEdge> edges,
+                                    int src_vertex);
 
     /** Cached index of the broadcast tree rooted at each node. */
-    const std::shared_ptr<const TreeIndex> &broadcastIndex(NodeId src);
+    const TreeIndex &broadcastIndex(NodeId src);
 
     /** Cached index of the ordered tree's root-to-all fan-out. */
-    const std::shared_ptr<const TreeIndex> &downIndex();
+    const TreeIndex &downIndex();
 
     /** Fill in wire size and entry timestamp. */
     void finalize(Message &msg);
@@ -194,14 +221,61 @@ class Network
     /** Count a message crossing @p nlinks links. */
     void account(const Message &msg, std::size_t nlinks);
 
+    // ---- In-flight message pool ----------------------------------
+    //
+    // Every message in transit lives in ONE pooled slot; forwarding
+    // events and batched deliveries carry a 4-byte slot index plus a
+    // reference count instead of copying the full Message through
+    // each closure. Slots recycle through an intrusive free list, so
+    // the steady-state network performs no allocation.
+
+    /** No-slot sentinel / free-list terminator. */
+    static constexpr std::uint32_t noSlot = ~std::uint32_t{0};
+
+    struct TransitSlot
+    {
+        Message msg;
+        std::uint32_t refs = 0;
+        std::uint32_t nextFree = noSlot;
+    };
+
+    /** Slots per pool chunk (chunks give stable addresses, so a
+     *  handler can read a delivered message in place while its own
+     *  sends grow the pool). */
+    static constexpr std::uint32_t slotChunkBits = 8;
+    static constexpr std::uint32_t slotChunkSize = 1u << slotChunkBits;
+
+    TransitSlot &
+    slotRef(std::uint32_t s)
+    {
+        return slotChunks_[s >> slotChunkBits][s &
+                                               (slotChunkSize - 1)];
+    }
+
+    /** Copy @p m into a recycled (or new) slot; refcount starts at 1. */
+    std::uint32_t acquireSlot(const Message &m);
+
+    void slotAddRef(std::uint32_t s) { ++slotRef(s).refs; }
+
+    void
+    slotRelease(std::uint32_t s)
+    {
+        TransitSlot &slot = slotRef(s);
+        if (--slot.refs == 0) {
+            slot.nextFree = freeHead_;
+            freeHead_ = s;
+        }
+    }
+
     /**
-     * Schedule delivery of @p msg to @p dest at @p when. Deliveries
-     * landing on the same tick are batched: the first one schedules a
-     * single flush event and later ones just append to its batch, so a
+     * Schedule delivery of pooled message @p slot to @p dest at
+     * @p when (takes its own slot reference). Deliveries landing on
+     * the same tick are batched: the first one schedules a single
+     * flush event and later ones just append to its batch, so a
      * broadcast fanning out to N nodes in one cycle costs one event
-     * (and one closure allocation) instead of N.
+     * instead of N.
      */
-    void scheduleDelivery(NodeId dest, const Message &msg, Tick when);
+    void scheduleDelivery(NodeId dest, std::uint32_t slot, Tick when);
 
     /** Deliver every message batched for tick @p when, in order. */
     void flushDeliveries(Tick when);
@@ -215,37 +289,42 @@ class Network
 
     /**
      * Transmit edge @p ei of @p idx now; on head arrival, deliver to
-     * node vertices (filtered by @p want if non-null) and recursively
-     * transmit child edges.
+     * node vertices (filtered by @p mc->want when @p mc is set) and
+     * recursively transmit child edges. Consumes one reference on
+     * @p slot. @p idx must outlive the whole transmission: it is
+     * either a cached tree or owned by @p mc.
      */
-    void transmitEdge(std::shared_ptr<const TreeIndex> idx, int ei,
-                      const Message &msg,
-                      std::shared_ptr<const std::vector<bool>> want);
-
-    /** Launch all root edges of a tree from the current tick. */
-    void launchTree(const std::shared_ptr<const TreeIndex> &idx,
-                    const Message &msg,
-                    std::shared_ptr<const std::vector<bool>> want);
+    void transmitEdge(const TreeIndex *idx, int ei, std::uint32_t slot,
+                      const std::shared_ptr<const MulticastState> &mc);
 
     /**
-     * Send @p msg along the remaining @p path (starting at element
-     * @p i) hop by hop, delivering to msg.dest at the end.
+     * Launch all root edges of a tree from the current tick.
+     * Consumes one reference on @p slot.
+     */
+    void launchTree(const TreeIndex *idx, std::uint32_t slot,
+                    const std::shared_ptr<const MulticastState> &mc);
+
+    /**
+     * Send pooled message @p slot along the remaining @p path
+     * (starting at element @p i) hop by hop, delivering to the
+     * pooled message's dest at the end. Consumes one reference.
      */
     void hopUnicast(const std::vector<LinkId> *path, std::size_t i,
-                    const Message &msg);
+                    std::uint32_t slot);
 
     /**
      * Climb the ordered tree toward the root hop by hop; at the root,
      * assign the next global sequence number and fan out down-tree.
+     * Consumes one reference on @p slot.
      */
     void climbToRoot(const std::vector<LinkId> *up, std::size_t i,
-                     const Message &msg, Tick ser);
+                     std::uint32_t slot, Tick ser);
 
-    /** One batched delivery: destination plus the finalized message. */
+    /** One batched delivery: destination plus the pooled message. */
     struct Delivery
     {
         NodeId dest;
-        Message msg;
+        std::uint32_t slot;
     };
 
     EventQueue &eq_;
@@ -253,12 +332,31 @@ class Network
     NetworkParams params_;
     std::vector<NetworkEndpoint *> endpoints_;
     std::vector<Tick> linkFree_;
-    /** Same-tick delivery batches, keyed by delivery tick. */
-    std::unordered_map<Tick, std::vector<Delivery>> pendingDeliveries_;
+    /** In-flight message pool (see above), in fixed-size chunks. */
+    std::vector<std::unique_ptr<TransitSlot[]>> slotChunks_;
+    std::uint32_t slotCount_ = 0;
+    std::uint32_t freeHead_ = noSlot;
+    /** Delivery-batch calendar ring horizon (ticks). */
+    static constexpr std::size_t deliveryRingSize = 4096;
+    static constexpr std::size_t deliveryRingMask =
+        deliveryRingSize - 1;
+
+    /**
+     * Same-tick delivery batches. Nearly every delivery lands within
+     * deliveryRingSize ticks of "now", so batches live in a
+     * direct-indexed calendar ring (no hashing on the per-message
+     * path); the rare contention-delayed stragglers fall back to the
+     * far map. Slot aliasing is impossible: a batch at tick T is
+     * flushed during tick T, and a later tick mapping to the same
+     * slot is at distance >= deliveryRingSize, which routes to the
+     * far map.
+     */
+    std::vector<std::vector<Delivery>> deliveryRing_;
+    std::unordered_map<Tick, std::vector<Delivery>> farDeliveries_;
     /** Retired batch vectors, recycled to keep their capacity. */
     std::vector<std::vector<Delivery>> batchPool_;
-    std::vector<std::shared_ptr<const TreeIndex>> bcastIndex_;
-    std::shared_ptr<const TreeIndex> downIndex_;
+    std::vector<std::unique_ptr<const TreeIndex>> bcastIndex_;
+    std::unique_ptr<const TreeIndex> downIndex_;
     std::uint64_t orderSeq_ = 0;
     TrafficStats stats_;
 };

@@ -18,6 +18,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "mem/block_map.hh"
 #include "net/message.hh"
 #include "proto/context.hh"
 #include "proto/types.hh"
@@ -79,6 +80,18 @@ class ControllerBase
         });
     }
 
+    /**
+     * True if trace-level logging is on. Call sites MUST use this to
+     * guard the construction of trace strings (strformat calls,
+     * Message::toString()) so untraced runs pay one branch, never a
+     * std::string allocation.
+     */
+    static bool
+    tracing()
+    {
+        return logging::enabled(logging::Level::trace);
+    }
+
     /** Trace helper (no-op unless trace logging is enabled). */
     void
     trace(const std::string &what) const
@@ -127,6 +140,22 @@ class CacheController : public ControllerBase
      */
     virtual bool hasPermission(Addr addr, MemOp op) const = 0;
 
+    /**
+     * Reinitialize protocol and statistics state to exactly match a
+     * freshly constructed controller built with @p params and seeded
+     * with @p seed, while keeping the large allocations (the cache
+     * array) in place. Structural parameters (tokensPerBlock,
+     * predictorEntries) must be unchanged — System::reset() checks
+     * that — but runtime tuning (reissue policy, chaos injection,
+     * perfectDirectory, adaptation knobs) may differ. The completion/
+     * line-removed callbacks are preserved. This is the reusable-
+     * System path: System::reset() drives it between runs, and the
+     * bit-identical regression tests compare it against fresh
+     * construction.
+     */
+    virtual void resetState(const ProtocolParams &params,
+                            std::uint64_t seed) = 0;
+
     void setCompletionCallback(CompletionFn fn) { complete_ = std::move(fn); }
     void setLineRemovedCallback(LineRemovedFn fn) { removed_ = std::move(fn); }
 
@@ -171,6 +200,11 @@ class MemoryController : public ControllerBase
      * block (the value a fresh reader would obtain from DRAM).
      */
     virtual std::uint64_t peekData(Addr addr) const = 0;
+
+    /** Reinitialize to fresh-construction state with (runtime-
+     *  compatible) @p params; memory controllers carry no RNG,
+     *  hence no seed (reusable-System path). */
+    virtual void resetState(const ProtocolParams &params) = 0;
 };
 
 /**
@@ -207,6 +241,9 @@ class BackingStore
         data_[align(a)] = v;
     }
 
+    /** Forget all writes (blocks revert to their initial values). */
+    void clear() { data_.clear(); }
+
   private:
     Addr
     align(Addr a) const
@@ -215,7 +252,7 @@ class BackingStore
     }
 
     std::uint32_t blockBytes_;
-    std::unordered_map<Addr, std::uint64_t> data_;
+    BlockMap<std::uint64_t> data_;
 };
 
 } // namespace tokensim

@@ -20,6 +20,16 @@ DirCache::DirCache(ProtoContext &ctx, NodeId id,
 }
 
 void
+DirCache::resetState(const ProtocolParams &params, std::uint64_t)
+{
+    params_ = params;
+    l2_.clear();
+    outstanding_.clear();
+    wbBuffer_.clear();
+    stats_ = CacheCtrlStats{};
+}
+
+void
 DirCache::request(const ProcRequest &req)
 {
     const Addr ba = ctx_.blockAlign(req.addr);
@@ -340,6 +350,15 @@ DirMemory::DirMemory(ProtoContext &ctx, NodeId id,
       store_(ctx.blockBytes),
       dram_(ctx.dram)
 {
+}
+
+void
+DirMemory::resetState(const ProtocolParams &params)
+{
+    params_ = params;
+    store_.clear();
+    dram_ = Dram(ctx_.dram);
+    entries_.clear();
 }
 
 DirMemory::DirEntry &

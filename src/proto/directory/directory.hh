@@ -27,9 +27,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/block_map.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "proto/controller.hh"
+#include "sim/small_queue.hh"
 
 namespace tokensim {
 
@@ -59,6 +61,8 @@ class DirCache : public CacheController
     void request(const ProcRequest &req) override;
     void handleMessage(const Message &msg) override;
     bool hasPermission(Addr addr, MemOp op) const override;
+    void resetState(const ProtocolParams &params,
+                    std::uint64_t seed) override;
 
     DirCacheState state(Addr addr) const;
 
@@ -99,8 +103,8 @@ class DirCache : public CacheController
 
     ProtocolParams params_;
     CacheArray<DirLine> l2_;
-    std::unordered_map<Addr, Transaction> outstanding_;
-    std::unordered_map<Addr, WbEntry> wbBuffer_;
+    BlockMap<Transaction> outstanding_;
+    BlockMap<WbEntry> wbBuffer_;
 };
 
 /**
@@ -115,6 +119,7 @@ class DirMemory : public MemoryController
 
     void handleMessage(const Message &msg) override;
     std::uint64_t peekData(Addr addr) const override;
+    void resetState(const ProtocolParams &params) override;
 
     /** Directory's view of a block (tests). */
     struct DirView
@@ -142,7 +147,7 @@ class DirMemory : public MemoryController
         std::set<NodeId> sharers;
         bool busy = false;
         NodeId pendingRequester = invalidNode;
-        std::deque<Message> queue;
+        SmallQueue<Message> queue;
     };
 
     DirEntry &entryFor(Addr addr);
@@ -165,7 +170,7 @@ class DirMemory : public MemoryController
     ProtocolParams params_;
     BackingStore store_;
     Dram dram_;
-    std::unordered_map<Addr, DirEntry> entries_;
+    BlockMap<DirEntry> entries_;
 };
 
 } // namespace tokensim

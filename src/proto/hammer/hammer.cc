@@ -19,6 +19,16 @@ HammerCache::HammerCache(ProtoContext &ctx, NodeId id,
 }
 
 void
+HammerCache::resetState(const ProtocolParams &params, std::uint64_t)
+{
+    params_ = params;
+    l2_.clear();
+    outstanding_.clear();
+    wbBuffer_.clear();
+    stats_ = CacheCtrlStats{};
+}
+
+void
 HammerCache::request(const ProcRequest &req)
 {
     const Addr ba = ctx_.blockAlign(req.addr);
@@ -336,6 +346,15 @@ HammerMemory::HammerMemory(ProtoContext &ctx, NodeId id,
       store_(ctx.blockBytes),
       dram_(ctx.dram)
 {
+}
+
+void
+HammerMemory::resetState(const ProtocolParams &params)
+{
+    params_ = params;
+    store_.clear();
+    dram_ = Dram(ctx_.dram);
+    entries_.clear();
 }
 
 HammerMemory::HomeEntry &

@@ -31,9 +31,11 @@
 #include <deque>
 #include <unordered_map>
 
+#include "mem/block_map.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "proto/controller.hh"
+#include "sim/small_queue.hh"
 
 namespace tokensim {
 
@@ -64,6 +66,8 @@ class HammerCache : public CacheController
     void request(const ProcRequest &req) override;
     void handleMessage(const Message &msg) override;
     bool hasPermission(Addr addr, MemOp op) const override;
+    void resetState(const ProtocolParams &params,
+                    std::uint64_t seed) override;
 
     HammerState state(Addr addr) const;
 
@@ -104,8 +108,8 @@ class HammerCache : public CacheController
 
     ProtocolParams params_;
     CacheArray<HammerLine> l2_;
-    std::unordered_map<Addr, Transaction> outstanding_;
-    std::unordered_map<Addr, WbEntry> wbBuffer_;
+    BlockMap<Transaction> outstanding_;
+    BlockMap<WbEntry> wbBuffer_;
 };
 
 /**
@@ -120,6 +124,7 @@ class HammerMemory : public MemoryController
 
     void handleMessage(const Message &msg) override;
     std::uint64_t peekData(Addr addr) const override;
+    void resetState(const ProtocolParams &params) override;
 
     bool
     quiescent() const
@@ -137,7 +142,7 @@ class HammerMemory : public MemoryController
         bool busy = false;
         NodeId pendingRequester = invalidNode;
         NodeId owner = invalidNode;   ///< last exclusive owner
-        std::deque<Message> queue;
+        SmallQueue<Message> queue;
     };
 
     HomeEntry &entryFor(Addr addr);
@@ -150,7 +155,7 @@ class HammerMemory : public MemoryController
     ProtocolParams params_;
     BackingStore store_;
     Dram dram_;
-    std::unordered_map<Addr, HomeEntry> entries_;
+    BlockMap<HomeEntry> entries_;
 };
 
 } // namespace tokensim

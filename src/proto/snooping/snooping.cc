@@ -31,6 +31,17 @@ SnoopCache::SnoopCache(ProtoContext &ctx, NodeId id,
 }
 
 void
+SnoopCache::resetState(const ProtocolParams &params, std::uint64_t)
+{
+    params_ = params;
+    l2_.clear();
+    outstanding_.clear();
+    wbBuffer_.clear();
+    migratoryPred_.clear();
+    stats_ = CacheCtrlStats{};
+}
+
+void
 SnoopCache::request(const ProcRequest &req)
 {
     const Addr ba = ctx_.blockAlign(req.addr);
@@ -380,6 +391,15 @@ SnoopMemory::SnoopMemory(ProtoContext &ctx, NodeId id,
       store_(ctx.blockBytes),
       dram_(ctx.dram)
 {
+}
+
+void
+SnoopMemory::resetState(const ProtocolParams &params)
+{
+    params_ = params;
+    store_.clear();
+    dram_ = Dram(ctx_.dram);
+    blocks_.clear();
 }
 
 SnoopMemory::MemBlock &

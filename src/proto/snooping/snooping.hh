@@ -38,9 +38,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "mem/block_map.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "proto/controller.hh"
+#include "sim/small_queue.hh"
 
 namespace tokensim {
 
@@ -74,6 +76,8 @@ class SnoopCache : public CacheController
     void request(const ProcRequest &req) override;
     void handleMessage(const Message &msg) override;
     bool hasPermission(Addr addr, MemOp op) const override;
+    void resetState(const ProtocolParams &params,
+                    std::uint64_t seed) override;
 
     /** Stable state of a block (tests). */
     SnoopState state(Addr addr) const;
@@ -118,11 +122,11 @@ class SnoopCache : public CacheController
 
     ProtocolParams params_;
     CacheArray<SnoopLine> l2_;
-    std::unordered_map<Addr, Transaction> outstanding_;
-    std::unordered_map<Addr, WbEntry> wbBuffer_;
+    BlockMap<Transaction> outstanding_;
+    BlockMap<WbEntry> wbBuffer_;
 
     /** Blocks predicted migratory: loads fetch them exclusively. */
-    std::unordered_set<Addr> migratoryPred_;
+    BlockSet migratoryPred_;
 };
 
 /**
@@ -140,6 +144,7 @@ class SnoopMemory : public MemoryController
 
     void handleMessage(const Message &msg) override;
     std::uint64_t peekData(Addr addr) const override;
+    void resetState(const ProtocolParams &params) override;
 
     /** True if memory would respond to a request for @p addr. */
     bool memoryOwns(Addr addr) const;
@@ -149,7 +154,7 @@ class SnoopMemory : public MemoryController
     {
         NodeId owner = invalidNode;   ///< invalidNode = memory owns
         bool wbPending = false;
-        std::deque<Message> waiting;
+        SmallQueue<Message> waiting;
     };
 
     MemBlock &blockFor(Addr addr);
@@ -158,7 +163,7 @@ class SnoopMemory : public MemoryController
     ProtocolParams params_;
     BackingStore store_;
     Dram dram_;
-    std::unordered_map<Addr, MemBlock> blocks_;
+    BlockMap<MemBlock> blocks_;
 };
 
 } // namespace tokensim

@@ -7,15 +7,38 @@
  * the same tick fire in FIFO order of scheduling (a deterministic total
  * order, which keeps simulations reproducible for a given seed).
  *
+ * ## The event record (SBO size contract)
+ *
+ * Events are stored as Event records: a fixed-size, small-buffer-
+ * optimized closure with `Event::inlineCapacity` bytes of inline
+ * storage and NO heap fallback. Constructing an Event from a callable
+ * larger than the inline buffer is a compile error (static_assert), so
+ * scheduling can never allocate behind the simulator's back the way
+ * std::function's SBO-miss path does. The capacity is sized for the
+ * largest closure the simulator schedules — a controller send helper
+ * capturing `this`, a full Message by value, and a destination vector
+ * (8 + 88 + 24 bytes; see ControllerBase::multicastAfter) — and the
+ * static_assert is the contract: if Message grows, the assert fires at
+ * the offending capture site and the capacity here must be revisited
+ * deliberately.
+ *
+ * ## The pool design (allocation-free steady state)
+ *
  * The queue is a calendar-style bucket ring rather than a binary heap:
  * the next `windowSize` ticks map one-to-one onto an array of buckets
  * (append = O(1), no comparator, no per-event heap churn), with a bitmap
  * over the buckets so finding the next occupied tick is a handful of
- * count-trailing-zero scans. Events beyond the ring's horizon wait in a
- * small overflow heap and migrate into the ring as the clock advances —
- * migration happens eagerly on every clock advance, before any new
- * events can be scheduled, which preserves the global same-tick FIFO
- * order across the horizon boundary.
+ * count-trailing-zero scans. The bucket vectors are the event arena:
+ * they are cleared after draining but never shrunk, so once the ring has
+ * warmed up, scheduling is a placement-construct into recycled storage
+ * and dispatch frees nothing — the steady-state loop performs zero heap
+ * allocations (tests/test_sim.cc proves this with a counting
+ * operator new). Events beyond the ring's horizon wait in a small
+ * overflow heap (a capacity-retaining vector managed with push_heap/
+ * pop_heap) and migrate into the ring as the clock advances — migration
+ * happens eagerly on every clock advance, before any new events can be
+ * scheduled, which preserves the global same-tick FIFO order across the
+ * horizon boundary.
  *
  * There is intentionally no event cancellation: components that may need
  * to abandon a timer (e.g., TokenB reissue timers) tag their events with a
@@ -26,17 +49,139 @@
 #ifndef TOKENSIM_SIM_EVENT_QUEUE_HH
 #define TOKENSIM_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace tokensim {
 
+/**
+ * A fixed-size, move-only callable: the one event type the queue
+ * stores. Captures live inline (never on the heap); see the file
+ * comment for the size contract.
+ */
+class Event
+{
+  public:
+    /** Inline capture storage, in bytes. */
+    static constexpr std::size_t inlineCapacity = 120;
+
+    Event() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Event>>>
+    Event(F &&f)   // NOLINT: implicit, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= inlineCapacity,
+                      "event closure exceeds Event::inlineCapacity — "
+                      "it would spill to the heap; shrink the capture "
+                      "or grow the contract in sim/event_queue.hh");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned event closure");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "event closures must be nothrow-movable");
+        ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+        vt_ = &vtableFor<Fn>;
+    }
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    Event(Event &&o) noexcept
+    {
+        if (o.vt_) {
+            vt_ = o.vt_;
+            vt_->relocate(buf_, o.buf_);
+            o.vt_ = nullptr;
+        }
+    }
+
+    Event &
+    operator=(Event &&o) noexcept
+    {
+        if (this != &o) {
+            if (vt_)
+                vt_->destroy(buf_);
+            vt_ = nullptr;
+            if (o.vt_) {
+                vt_ = o.vt_;
+                vt_->relocate(buf_, o.buf_);
+                o.vt_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    ~Event()
+    {
+        if (vt_)
+            vt_->destroy(buf_);
+    }
+
+    /** True if this event holds a callable (not moved-from). */
+    explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+    /** Invoke the stored callable. */
+    void operator()() { vt_->invoke(buf_); }
+
+    /**
+     * Invoke the stored callable and destroy it in one indirect call,
+     * leaving this Event empty — the dispatch loop's fast path (the
+     * callable is destroyed even if it throws).
+     */
+    void
+    runAndDispose()
+    {
+        const VTable *vt = vt_;
+        vt_ = nullptr;
+        vt->run(buf_);
+    }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *);
+        void (*run)(void *);   ///< invoke + destroy (throw-safe)
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr VTable vtableFor = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *p) {
+            struct Guard
+            {
+                Fn *f;
+                ~Guard() { f->~Fn(); }
+            } g{static_cast<Fn *>(p)};
+            (*g.f)();
+        },
+        [](void *dst, void *src) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *p) noexcept { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[inlineCapacity];
+    const VTable *vt_ = nullptr;
+};
+
+static_assert(sizeof(Event) == 128,
+              "Event should stay exactly two cache lines");
+
 /** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = Event;
 
 /**
  * The central event queue of a simulated system.
@@ -60,29 +205,46 @@ class EventQueue
 
     /**
      * Schedule an event at an absolute tick.
+     *
+     * A template so the caller's closure is placement-constructed
+     * directly into the bucket's Event slot — no intermediate Event
+     * copy on the hottest call in the simulator.
+     *
      * @param when absolute tick; must not be in the past.
-     * @param fn callback to run.
+     * @param fn callback to run (anything an Event can hold).
      */
+    template <typename F>
     void
-    schedule(Tick when, EventFn fn)
+    schedule(Tick when, F &&fn)
     {
         if (when < curTick_)
             when = curTick_;
         if (when - curTick_ < windowSize) {
             const std::size_t slot = when & windowMask;
-            buckets_[slot].push_back(std::move(fn));
+            auto &bucket = buckets_[slot];
+            if (bucket.capacity() == bucket.size()) {
+                // Skip the 1->2->4 growth crawl: events are two cache
+                // lines each, so tiny reallocations are all copy.
+                bucket.reserve(bucket.empty() ? 4
+                                              : 2 * bucket.size());
+            }
+            bucket.emplace_back(std::forward<F>(fn));
             occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
             ++ringCount_;
         } else {
-            overflow_.push(FarEntry{when, nextSeq_++, std::move(fn)});
+            overflow_.push_back(FarEntry{when, nextSeq_++,
+                                         Event(std::forward<F>(fn))});
+            std::push_heap(overflow_.begin(), overflow_.end(),
+                           FarEntry::Later{});
         }
     }
 
     /** Schedule an event @p delay ticks from now. */
+    template <typename F>
     void
-    scheduleIn(Tick delay, EventFn fn)
+    scheduleIn(Tick delay, F &&fn)
     {
-        schedule(curTick_ + delay, std::move(fn));
+        schedule(curTick_ + delay, std::forward<F>(fn));
     }
 
     /** True if no events remain. */
@@ -93,6 +255,26 @@ class EventQueue
 
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Return to the just-constructed state (time zero, no events, no
+     * counters) while KEEPING the grown bucket/overflow storage — the
+     * reusable-System path resets the queue between runs so the next
+     * run starts allocation-free.
+     */
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b.clear();
+        drain_.clear();
+        std::fill(occupied_.begin(), occupied_.end(), 0);
+        overflow_.clear();
+        ringCount_ = 0;
+        curTick_ = 0;
+        nextSeq_ = 0;
+        executed_ = 0;
+    }
 
     /**
      * Run until the queue drains or @p maxTick is passed.
@@ -106,40 +288,22 @@ class EventQueue
     bool
     run(Tick maxTick = tickNever)
     {
-        while (!empty()) {
-            const Tick next = nextEventTick();
-            if (next > maxTick) {
-                advanceTo(maxTick);
-                return false;
-            }
-            advanceTo(next);
-
-            auto &bucket = buckets_[curTick_ & windowMask];
-            std::size_t i = 0;
-            while (i < bucket.size()) {
-                EventFn fn = std::move(bucket[i]);
-                ++i;
-                ++executed_;
-                try {
-                    fn();
-                } catch (...) {
-                    reconcileAfterThrow(bucket, i);
-                    throw;
-                }
-            }
-            retireBucket(bucket, i);
-        }
-        return true;
+        runUntil([]() { return false; }, maxTick);
+        return empty();
     }
 
     /**
      * Run until @p pred returns true (checked after every event), the
      * queue drains, or @p maxTick passes.
      *
+     * A template so the predicate check inlines into the dispatch
+     * loop (the harness polls a counter after every event).
+     *
      * @return true if pred was satisfied.
      */
+    template <typename Pred>
     bool
-    runUntil(const std::function<bool()> &pred, Tick maxTick = tickNever)
+    runUntil(Pred &&pred, Tick maxTick = tickNever)
     {
         if (pred())
             return true;
@@ -152,35 +316,44 @@ class EventQueue
             advanceTo(next);
 
             auto &bucket = buckets_[curTick_ & windowMask];
-            std::size_t i = 0;
-            bool satisfied = false;
-            while (i < bucket.size()) {
-                EventFn fn = std::move(bucket[i]);
-                ++i;
-                ++executed_;
+            // Swap the bucket's events into the drain buffer and run
+            // them IN PLACE (no per-event move): handlers appending
+            // same-tick events refill `bucket`, which the outer loop
+            // then drains — the same global FIFO order as appending
+            // to a live bucket.
+            while (!bucket.empty()) {
+                drain_.swap(bucket);
+                const std::size_t n = drain_.size();
+                ringCount_ -= n;
+                {
+                    const std::size_t slot = curTick_ & windowMask;
+                    occupied_[slot >> 6] &=
+                        ~(std::uint64_t{1} << (slot & 63));
+                }
+                std::size_t i = 0;
                 try {
-                    fn();
+                    for (; i < n; ++i) {
+                        ++executed_;
+                        drain_[i].runAndDispose();
+                        if (pred()) {
+                            ++i;
+                            requeueSuffix(bucket, i);
+                            return true;
+                        }
+                    }
                 } catch (...) {
-                    reconcileAfterThrow(bucket, i);
+                    requeueSuffix(bucket, i + 1);
                     throw;
                 }
-                if (pred()) {
-                    satisfied = true;
-                    break;
-                }
+                drain_.clear();
             }
-            if (i == bucket.size()) {
-                retireBucket(bucket, i);
-            } else {
-                // Early exit mid-bucket: keep the unexecuted suffix
-                // (still this tick's events; the slot stays occupied).
-                bucket.erase(bucket.begin(),
-                             bucket.begin() +
-                                 static_cast<std::ptrdiff_t>(i));
-                ringCount_ -= i;
-            }
-            if (satisfied)
-                return true;
+            // Hand the slot back its own (largest) buffer so bucket
+            // capacities stay put across reuse instead of rotating
+            // through the drain buffer — that rotation would cause
+            // steady-state reallocations whenever a big bucket
+            // inherited a small buffer.
+            if (drain_.capacity() > bucket.capacity())
+                drain_.swap(bucket);
         }
         return false;
     }
@@ -196,15 +369,19 @@ class EventQueue
     {
         Tick when;
         std::uint64_t seq;
-        EventFn fn;
+        Event fn;
 
-        bool
-        operator>(const FarEntry &o) const
+        /** Min-heap comparator: "a fires later than b". */
+        struct Later
         {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
-        }
+            bool
+            operator()(const FarEntry &a, const FarEntry &b) const
+            {
+                if (a.when != b.when)
+                    return a.when > b.when;
+                return a.seq > b.seq;
+            }
+        };
     };
 
     /**
@@ -235,7 +412,7 @@ class EventQueue
                 }
             }
         }
-        return overflow_.top().when;
+        return overflow_.front().when;
     }
 
     /**
@@ -251,49 +428,53 @@ class EventQueue
         if (t > curTick_)
             curTick_ = t;
         while (!overflow_.empty() &&
-               overflow_.top().when - curTick_ < windowSize) {
-            auto &top = const_cast<FarEntry &>(overflow_.top());
-            const std::size_t slot = top.when & windowMask;
-            buckets_[slot].push_back(std::move(top.fn));
+               overflow_.front().when - curTick_ < windowSize) {
+            std::pop_heap(overflow_.begin(), overflow_.end(),
+                          FarEntry::Later{});
+            FarEntry &e = overflow_.back();
+            const std::size_t slot = e.when & windowMask;
+            buckets_[slot].push_back(std::move(e.fn));
             occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
             ++ringCount_;
-            overflow_.pop();
+            overflow_.pop_back();
         }
     }
 
     /**
-     * A handler threw mid-drain: drop the executed (moved-from)
-     * prefix and fix the counters so the queue stays consistent and
-     * resumable, like the old pop-before-execute heap was.
+     * The drain stopped early (predicate satisfied or a handler
+     * threw): the unexecuted suffix drain_[from..] must run before
+     * any same-tick events handlers appended to @p bucket, so splice
+     * it back to the bucket's front and fix the ring accounting.
      */
     void
-    reconcileAfterThrow(std::vector<EventFn> &bucket, std::size_t n)
+    requeueSuffix(std::vector<Event> &bucket, std::size_t from)
     {
-        bucket.erase(bucket.begin(),
-                     bucket.begin() + static_cast<std::ptrdiff_t>(n));
-        ringCount_ -= n;
-        if (bucket.empty()) {
-            const std::size_t slot = curTick_ & windowMask;
-            occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+        const std::size_t left = drain_.size() - from;
+        if (left != 0) {
+            bucket.insert(
+                bucket.begin(),
+                std::make_move_iterator(
+                    drain_.begin() +
+                    static_cast<std::ptrdiff_t>(from)),
+                std::make_move_iterator(drain_.end()));
+            ringCount_ += left;
         }
+        if (!bucket.empty()) {
+            const std::size_t slot = curTick_ & windowMask;
+            occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+        }
+        drain_.clear();
     }
 
-    /** Finish a fully drained bucket: release storage accounting. */
-    void
-    retireBucket(std::vector<EventFn> &bucket, std::size_t n)
-    {
-        bucket.clear();
-        ringCount_ -= n;
-        const std::size_t slot = curTick_ & windowMask;
-        occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
-    }
-
-    std::vector<std::vector<EventFn>> buckets_;
+    std::vector<std::vector<Event>> buckets_;
+    /** Scratch the dispatch loop drains a bucket into (swap target;
+     *  retains the high-water capacity across ticks). */
+    std::vector<Event> drain_;
     std::vector<std::uint64_t> occupied_;
     std::size_t ringCount_ = 0;
-    std::priority_queue<FarEntry, std::vector<FarEntry>,
-                        std::greater<>>
-        overflow_;
+    /** Min-heap (via push_heap/pop_heap) of beyond-horizon events;
+     *  a plain vector so capacity survives reset(). */
+    std::vector<FarEntry> overflow_;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A FIFO queue on a vector, for short per-block wait queues.
+ *
+ * The protocols' home controllers keep a small queue of waiting
+ * requests per block. std::deque is the obvious container, but its
+ * default constructor heap-allocates a chunk — and these queues live
+ * inside BlockMap tables that are grown, rehashed, and recycled by the
+ * reusable-System path, so "default-construct a value" must be free.
+ * SmallQueue is a vector plus a head cursor: push is amortized O(1),
+ * pop advances the cursor, and the storage compacts (and its capacity
+ * is reused) whenever the queue drains, which for these short bursty
+ * queues is constantly.
+ */
+
+#ifndef TOKENSIM_SIM_SMALL_QUEUE_HH
+#define TOKENSIM_SIM_SMALL_QUEUE_HH
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tokensim {
+
+/** Vector-backed FIFO (see file comment). */
+template <typename T>
+class SmallQueue
+{
+  public:
+    bool empty() const { return head_ == items_.size(); }
+    std::size_t size() const { return items_.size() - head_; }
+
+    void
+    push_back(T v)
+    {
+        items_.push_back(std::move(v));
+    }
+
+    T &front() { return items_[head_]; }
+    const T &front() const { return items_[head_]; }
+
+    /** Iteration over the queued elements, front to back. */
+    auto begin() { return items_.begin() + off(); }
+    auto end() { return items_.end(); }
+    auto begin() const { return items_.begin() + off(); }
+    auto end() const { return items_.end(); }
+
+    void
+    pop_front()
+    {
+        assert(!empty());
+        ++head_;
+        if (head_ == items_.size()) {
+            items_.clear();
+            head_ = 0;
+        }
+    }
+
+    void
+    clear()
+    {
+        items_.clear();
+        head_ = 0;
+    }
+
+  private:
+    std::ptrdiff_t off() const
+    {
+        return static_cast<std::ptrdiff_t>(head_);
+    }
+
+    std::vector<T> items_;
+    std::size_t head_ = 0;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_SIM_SMALL_QUEUE_HH

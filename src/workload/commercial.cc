@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace tokensim {
 
@@ -12,26 +16,104 @@ namespace tokensim {
 // ---------------------------------------------------------------------
 
 ZipfSampler::ZipfSampler(std::size_t n, double theta)
+    : table_(tableFor(n, theta))
+{}
+
+std::shared_ptr<const ZipfSampler::Table>
+ZipfSampler::tableFor(std::size_t n, double theta)
 {
     assert(n > 0);
-    cdf_.resize(n);
+    assert(n <= std::numeric_limits<std::uint32_t>::max());
+
+    // Intern cache: one table per distinct (n, theta), shared by all
+    // samplers in all Systems (tables are immutable after build).
+    struct Key
+    {
+        std::size_t n;
+        double theta;
+        bool
+        operator==(const Key &o) const
+        {
+            return n == o.n && theta == o.theta;
+        }
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            std::uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(k.theta), "");
+            std::memcpy(&bits, &k.theta, sizeof(bits));
+            return std::hash<std::uint64_t>()(
+                bits * 0x9e3779b97f4a7c15ULL ^ k.n);
+        }
+    };
+    static std::mutex cacheLock;
+    static std::unordered_map<Key, std::shared_ptr<const Table>,
+                              KeyHash>
+        cache;
+
+    const Key key{n, theta};
+    {
+        std::lock_guard<std::mutex> g(cacheLock);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+
+    auto t = std::make_shared<Table>();
+    t->theta = theta;
+    std::vector<double> w(n);
     double sum = 0.0;
     for (std::size_t k = 0; k < n; ++k) {
-        sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
-        cdf_[k] = sum;
+        w[k] = 1.0 / std::pow(static_cast<double>(k + 1), theta);
+        sum += w[k];
     }
-    for (auto &v : cdf_)
-        v /= sum;
+    t->invWeightSum = 1.0 / sum;
+
+    // Vose's alias method: scale each weight by n, then repeatedly
+    // pair an under-full column with an over-full one. Build is O(n);
+    // every sample() afterwards is one column pick + one coin flip.
+    t->prob.assign(n, 1.0);
+    t->alias.resize(n);
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        w[k] *= t->invWeightSum * static_cast<double>(n);
+        t->alias[k] = static_cast<std::uint32_t>(k);
+        if (w[k] < 1.0)
+            small.push_back(static_cast<std::uint32_t>(k));
+        else
+            large.push_back(static_cast<std::uint32_t>(k));
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.back();
+        const std::uint32_t l = large.back();
+        small.pop_back();
+        t->prob[s] = w[s];
+        t->alias[s] = l;
+        w[l] = (w[l] + w[s]) - 1.0;
+        if (w[l] < 1.0) {
+            large.pop_back();
+            small.push_back(l);
+        }
+    }
+    // Numerical leftovers on either worklist are columns whose scaled
+    // weight is 1 up to rounding: they keep prob 1 (self-alias).
+
+    std::lock_guard<std::mutex> g(cacheLock);
+    auto [it, inserted] = cache.emplace(key, std::move(t));
+    // A racing builder may have beaten us; either table is identical.
+    return it->second;
 }
 
-std::size_t
-ZipfSampler::sample(Rng &rng) const
+double
+ZipfSampler::weight(std::size_t k) const
 {
-    const double u = rng.uniform();
-    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
-    if (it == cdf_.end())
-        --it;
-    return static_cast<std::size_t>(it - cdf_.begin());
+    return table_->invWeightSum /
+        std::pow(static_cast<double>(k + 1), table_->theta);
 }
 
 // ---------------------------------------------------------------------

@@ -52,20 +52,50 @@ class Workload
 
 /**
  * Zipf-distributed sampler over [0, n): item k has weight
- * 1/(k+1)^theta. theta = 0 degenerates to uniform. Sampling is a
- * binary search over the precomputed CDF.
+ * 1/(k+1)^theta. theta = 0 degenerates to uniform.
+ *
+ * Sampling is O(1) via a Walker/Vose alias table (one uniform column
+ * pick plus one biased coin) instead of the former O(log n) binary
+ * search over a CDF — Zipf draws sit on the workload-generation hot
+ * path of every commercial preset. The (immutable) alias tables are
+ * interned in a process-wide cache keyed by (n, theta): every node of
+ * every System reuses one table per distinct distribution instead of
+ * re-running the O(n log) build, which used to dominate per-shard
+ * workload construction in the sweep benches.
  */
 class ZipfSampler
 {
   public:
     ZipfSampler(std::size_t n, double theta);
 
-    std::size_t sample(Rng &rng) const;
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const Table &t = *table_;
+        const std::size_t i =
+            static_cast<std::size_t>(rng.below(t.prob.size()));
+        return rng.uniform() < t.prob[i] ? i : t.alias[i];
+    }
 
-    std::size_t size() const { return cdf_.size(); }
+    std::size_t size() const { return table_->prob.size(); }
+
+    /** Normalized closed-form weight of item @p k (for tests). */
+    double weight(std::size_t k) const;
 
   private:
-    std::vector<double> cdf_;
+    struct Table
+    {
+        std::vector<double> prob;           ///< acceptance threshold
+        std::vector<std::uint32_t> alias;   ///< fallback per column
+        double theta = 0.0;
+        double invWeightSum = 0.0;
+    };
+
+    /** Build (or fetch from the intern cache) the table. */
+    static std::shared_ptr<const Table> tableFor(std::size_t n,
+                                                 double theta);
+
+    std::shared_ptr<const Table> table_;
 };
 
 /**

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "harness/parallel_runner.hh"
@@ -119,6 +121,73 @@ TEST(KernelDeterminism, DifferentSeedsDiffer)
     const System::Results a = runOnce(cfg, 77);
     const System::Results b = runOnce(cfg, 78);
     EXPECT_NE(a.runtimeTicks, b.runtimeTicks);
+}
+
+TEST(SystemReuse, ResetRunIsBitIdenticalToFreshConstructRun)
+{
+    // The reusable-System path (System::reset + run) must produce raw
+    // statistics bit-identical to destroying and rebuilding the
+    // System — across multiple seeds AND across configs that share a
+    // structural shape but differ in runtime knobs.
+    SystemConfig a;
+    a.numNodes = 8;
+    a.protocol = ProtocolKind::tokenB;
+    a.workload = "uniform";
+    a.uniformBlocks = 128;
+    a.opsPerProcessor = 300;
+    a.seed = 5;
+
+    SystemConfig b = a;   // same shape, different runtime knobs
+    b.workload = "oltp";
+    b.opsPerProcessor = 200;
+    b.net.unlimitedBandwidth = true;
+    b.proto.maxReissues = 2;
+    b.seed = 40;
+
+    std::unique_ptr<System> reused;
+    for (const SystemConfig &cfg : {a, b}) {
+        for (std::uint64_t seed : {cfg.seed, cfg.seed + 1}) {
+            SCOPED_TRACE(cfg.workload + "/" + std::to_string(seed));
+            expectRawIdentical(runOnceReusing(reused, cfg, seed),
+                               runOnce(cfg, seed));
+        }
+    }
+    // The single System was reused throughout (b shares a's shape).
+    ASSERT_NE(reused, nullptr);
+}
+
+TEST(SystemReuse, ShapeMismatchRejectsReset)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 4;
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.workload = "uniform";
+    cfg.opsPerProcessor = 10;
+    System sys(cfg);
+
+    SystemConfig other = cfg;
+    other.numNodes = 8;
+    EXPECT_FALSE(sys.reset(other));
+
+    other = cfg;
+    other.protocol = ProtocolKind::directory;
+    EXPECT_FALSE(sys.reset(other));
+
+    other = cfg;
+    other.topology = "tree";
+    EXPECT_FALSE(sys.reset(other));
+
+    other = cfg;
+    other.l2.sizeBytes /= 2;
+    EXPECT_FALSE(sys.reset(other));
+
+    // Runtime-only differences are accepted.
+    other = cfg;
+    other.seed = 99;
+    other.net.unlimitedBandwidth = true;
+    other.workload = "hot";
+    EXPECT_TRUE(sys.reset(other));
+    sys.run();
 }
 
 TEST(ParallelRunner, MatchesSerialBitIdentical)

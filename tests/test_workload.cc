@@ -41,6 +41,41 @@ TEST(Zipf, SkewsTowardLowIndices)
     EXPECT_GT(first_decile, samples / 3);
 }
 
+TEST(Zipf, AliasTableMatchesClosedFormWeights)
+{
+    // Frequency / chi-squared goodness-of-fit of the O(1) alias-table
+    // sampler against the closed-form Zipf pmf it was built from.
+    const std::size_t n = 64;
+    const double theta = 0.8;
+    ZipfSampler z(n, theta);
+
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_GT(z.weight(k), 0.0);
+        if (k > 0)
+            EXPECT_LT(z.weight(k), z.weight(k - 1));
+        total += z.weight(k);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+
+    Rng rng(7);
+    const int samples = 200000;
+    std::vector<int> obs(n, 0);
+    for (int i = 0; i < samples; ++i)
+        ++obs[z.sample(rng)];
+
+    double chi2 = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double expected = samples * z.weight(k);
+        const double d = obs[k] - expected;
+        chi2 += d * d / expected;
+    }
+    // 63 degrees of freedom; the p = 0.001 critical value is ~103.4.
+    // The RNG is deterministic, so this is a regression bound, not a
+    // flaky statistical test.
+    EXPECT_LT(chi2, 103.4);
+}
+
 TEST(Zipf, StaysInRange)
 {
     ZipfSampler z(7, 0.5);
