@@ -35,8 +35,8 @@ run(const char *label, ProtocolKind proto, double multiple,
     cfg.topology = "torus";
     cfg.protocol = proto;
     cfg.workload = "uniform";
-    cfg.uniformBlocks = 64;   // hot: races are common
-    cfg.microStoreFraction = 0.5;
+    cfg.workload.uniformBlocks = 64;   // hot: races are common
+    cfg.workload.storeFraction = 0.5;
     cfg.opsPerProcessor = ops;
     cfg.proto.reissueLatencyMultiple = multiple;
     cfg.proto.maxReissues = max_reissues;

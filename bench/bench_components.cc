@@ -23,6 +23,7 @@
 #include "net/network.hh"
 #include "sim/event_queue.hh"
 #include "workload/commercial.hh"
+#include "workload/trace.hh"
 
 namespace tokensim {
 namespace {
@@ -301,6 +302,78 @@ BM_EventQueueFarHorizon(benchmark::State &state)
 BENCHMARK(BM_EventQueueFarHorizon);
 
 /**
+ * In-memory record → parse round trip shared by the trace benches:
+ * one OLTP generator per node, a fixed op count each.
+ */
+std::shared_ptr<const TraceData>
+benchTrace(int nodes, int ops_per_node)
+{
+    TraceHeader hdr;
+    hdr.numNodes = static_cast<std::uint32_t>(nodes);
+    hdr.seed = 3;
+    hdr.provenance = "bench";
+    TraceWriter w(std::move(hdr));
+    AddressMap map;
+    for (NodeId n = 0; n < nodes; ++n) {
+        CommercialWorkload gen(n, nodes, map,
+                               CommercialParams::oltp(), 100 + n);
+        for (int i = 0; i < ops_per_node; ++i)
+            w.append(n, gen.next());
+    }
+    const std::string buf = w.serialize();
+    return std::make_shared<const TraceData>(
+        TraceData::parse(buf.data(), buf.size()));
+}
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    // Replay decode throughput: ops/s pulled from a TraceWorkload —
+    // the per-op cost trace-driven experiments pay instead of running
+    // a generator. Decode (flags byte + zigzag varint) must stay well
+    // above generator speed so replay never becomes the bottleneck.
+    const int nodes = 8, ops = 4000;
+    const auto trace = benchTrace(nodes, ops);
+    std::vector<TraceWorkload> streams;
+    for (NodeId n = 0; n < nodes; ++n)
+        streams.emplace_back(trace, n);
+    for (auto _ : state) {
+        std::uint64_t sink = 0;
+        for (auto &s : streams) {
+            for (int i = 0; i < ops; ++i)
+                sink += s.next().addr;
+        }
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * nodes * ops);
+}
+BENCHMARK(BM_TraceReplay);
+
+void
+BM_TraceRecord(benchmark::State &state)
+{
+    // Recording overhead: generator pull + varint append per op.
+    const int nodes = 8, ops = 4000;
+    AddressMap map;
+    for (auto _ : state) {
+        TraceHeader hdr;
+        hdr.numNodes = nodes;
+        hdr.provenance = "bench";
+        TraceWriter w(std::move(hdr));
+        for (NodeId n = 0; n < nodes; ++n) {
+            CommercialWorkload gen(n, nodes, map,
+                                   CommercialParams::oltp(),
+                                   100 + n);
+            for (int i = 0; i < ops; ++i)
+                w.append(n, gen.next());
+        }
+        benchmark::DoNotOptimize(w.opsForNode(0));
+    }
+    state.SetItemsProcessed(state.iterations() * nodes * ops);
+}
+BENCHMARK(BM_TraceRecord);
+
+/**
  * The full experiment config matrix — protocol x topology x processor
  * count x token count — that the runner benchmarks below shard. Small
  * per-shard op counts keep one pass in benchmark territory; scale via
@@ -331,7 +404,7 @@ runnerMatrix()
                     cfg.topology = topo;
                     cfg.protocol = proto;
                     cfg.workload = "uniform";
-                    cfg.uniformBlocks =
+                    cfg.workload.uniformBlocks =
                         64 * static_cast<std::uint64_t>(nodes);
                     cfg.proto.tokensPerBlock = tokenCounts[ti];
                     cfg.opsPerProcessor = 400;

@@ -30,8 +30,8 @@ spec(ProtocolKind proto, int nodes, std::uint64_t ops)
     cfg.topology = "torus";
     cfg.protocol = proto;
     cfg.workload = "uniform";
-    cfg.uniformBlocks = 64 * static_cast<std::uint64_t>(nodes);
-    cfg.microStoreFraction = 0.3;
+    cfg.workload.uniformBlocks = 64 * static_cast<std::uint64_t>(nodes);
+    cfg.workload.storeFraction = 0.3;
     cfg.opsPerProcessor = ops;
     cfg.seed = 11;
     return ExperimentSpec{cfg, 1, protocolName(proto)};

@@ -4,6 +4,10 @@
  * miniature of the paper's whole evaluation in one table.
  *
  *   $ ./examples/protocol_comparison [workload] [ops]
+ *
+ * workload is any WorkloadSpec preset (oltp, apache, specjbb,
+ * producer-consumer, lock-ping, uniform, hot, private); recorded
+ * traces are driven via examples/trace_tool instead.
  */
 
 #include <cstdio>

@@ -6,7 +6,8 @@
  *
  *   $ ./examples/quickstart [workload] [protocol]
  *
- * workload: oltp | apache | specjbb | uniform | private (default oltp)
+ * workload: oltp | apache | specjbb | producer-consumer | lock-ping |
+ *           uniform | private (default oltp)
  * protocol: tokenb | tokend | tokenm | tokena | snooping | directory | hammer
  */
 

@@ -34,7 +34,7 @@ runCase(const char *label, ProtocolKind proto, std::uint64_t ops)
     cfg.topology = "torus";
     cfg.protocol = proto;
     cfg.workload = "hot";            // every op hits one block
-    cfg.microStoreFraction = 0.9;
+    cfg.workload.storeFraction = 0.9;
     cfg.opsPerProcessor = ops;
     cfg.attachAuditor = true;
     System sys(cfg);

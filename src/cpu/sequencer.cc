@@ -40,6 +40,7 @@ Sequencer::reset(const SequencerParams &params,
     nextIssueAllowed_ = 0;
     nextReqId_ = 1;
     issuedCtl_ = 0;
+    pulledCtl_ = 0;
     completedCtl_ = 0;
     stalled_ = false;
     stalledOp_ = WorkloadOp{};
@@ -83,6 +84,7 @@ Sequencer::tryIssue()
             stalled_ = false;
         } else {
             wop = workload_->next();
+            ++pulledCtl_;
         }
 
         const Addr ba = ctx_.blockAlign(wop.addr);

@@ -111,6 +111,16 @@ class Sequencer
     std::uint64_t completedOps() const { return completedCtl_; }
 
     /**
+     * Operations pulled from the workload so far. A completed run
+     * pulls exactly op_budget ops — never more (a same-block-stalled
+     * op is buffered, not re-pulled) — independent of protocol or
+     * timing. Trace recording and replay lean on this contract: a
+     * recorded trace holds op_budget ops per node and replays against
+     * any protocol with the same budget (tests/test_trace.cc pins it).
+     */
+    std::uint64_t opsPulled() const { return pulledCtl_; }
+
+    /**
      * Arm a completion milestone: when the completed-op count reaches
      * @p at, increment @p counter once. If the count is already
      * there, the increment happens immediately. The System uses this
@@ -192,6 +202,7 @@ class Sequencer
     Tick nextIssueAllowed_ = 0;
     std::uint64_t nextReqId_ = 1;
     std::uint64_t issuedCtl_ = 0;
+    std::uint64_t pulledCtl_ = 0;
     std::uint64_t completedCtl_ = 0;
     std::uint64_t milestone_ = 0;
     std::uint64_t *milestoneCounter_ = nullptr;

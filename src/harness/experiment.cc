@@ -1,6 +1,61 @@
 #include "harness/experiment.hh"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
 namespace tokensim {
+
+namespace {
+
+/** IEEE-754 bit pattern of @p v (digests must be bit-exact). */
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+void
+appendField(std::string &out, const char *key, std::uint64_t value,
+            bool hex)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  hex ? "%s=%016" PRIx64 " " : "%s=%" PRIu64 " ", key,
+                  value);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+resultDigest(const ExperimentResult &r)
+{
+    std::string out;
+    appendField(out, "ops", r.ops, false);
+    appendField(out, "misses", r.misses, false);
+    appendField(out, "cpt", doubleBits(r.cyclesPerTransaction), true);
+    appendField(out, "cptSd",
+                doubleBits(r.cyclesPerTransactionStddev), true);
+    appendField(out, "bpm", doubleBits(r.bytesPerMiss), true);
+    for (std::size_t c = 0; c < numMsgClasses; ++c) {
+        const std::string key = "bpm" + std::to_string(c);
+        appendField(out, key.c_str(),
+                    doubleBits(r.bytesPerMissByClass[c]), true);
+    }
+    appendField(out, "missRate", doubleBits(r.missRate), true);
+    appendField(out, "c2c", doubleBits(r.cacheToCacheFrac), true);
+    appendField(out, "lat", doubleBits(r.avgMissLatencyNs), true);
+    appendField(out, "pNot", doubleBits(r.pctNotReissued), true);
+    appendField(out, "pOnce", doubleBits(r.pctReissuedOnce), true);
+    appendField(out, "pMore", doubleBits(r.pctReissuedMore), true);
+    appendField(out, "pPers", doubleBits(r.pctPersistent), true);
+    out.pop_back();   // trailing space
+    return out;
+}
 
 bool
 identicalResults(const ExperimentResult &a, const ExperimentResult &b)

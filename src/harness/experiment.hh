@@ -48,6 +48,17 @@ bool identicalResults(const ExperimentResult &a,
                       const ExperimentResult &b);
 
 /**
+ * One-line, bit-exact textual digest of every statistic (label
+ * excluded): integers in decimal, doubles as raw IEEE-754 bit
+ * patterns in hex. Comparison is strictly bitwise — stricter than
+ * identicalResults() for -0.0 vs +0.0 and, unlike operator!=, stable
+ * for NaN — which is what a stored regression oracle needs: the
+ * golden-trace suite commits digests next to its traces and
+ * trace_tool prints them for ad-hoc comparison.
+ */
+std::string resultDigest(const ExperimentResult &r);
+
+/**
  * One design point for a runner: a configuration, how many seeds to
  * perturb it with, and a display label. Seed s of the spec runs with
  * cfg.seed + s, so results depend only on the spec — never on which

@@ -113,8 +113,8 @@ runRandomTester(const RandomTesterConfig &cfg)
     sc.protocol = cfg.protocol;
     sc.proto.tokensPerBlock = cfg.tokensPerBlock;
     sc.workload = "uniform";
-    sc.uniformBlocks = cfg.blocks;
-    sc.microStoreFraction = cfg.storeFraction;
+    sc.workload.uniformBlocks = cfg.blocks;
+    sc.workload.storeFraction = cfg.storeFraction;
     sc.opsPerProcessor = cfg.opsPerProcessor;
     sc.seed = cfg.seed;
     sc.seq.maxOutstanding = cfg.maxOutstanding;

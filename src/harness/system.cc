@@ -46,6 +46,7 @@ System::System(const SystemConfig &cfg)
     }
 
     addrMap_.blockBytes = cfg_.blockBytes;
+    configureWorkloads();
 
     // The seeder draw order below (one draw per node for controllers,
     // then a workload draw and a sequencer draw per node) is the seed
@@ -131,6 +132,11 @@ System::reset(const SystemConfig &cfg, bool trust_factory)
     if (auditor_)
         auditor_->reset();
     measureStart_ = 0;
+    // The workload spec is a runtime knob: reset may switch
+    // preset↔trace or trace↔trace. An invalid spec (unknown preset,
+    // malformed trace) throws here, leaving the System unusable —
+    // runOnceReusing drops such a System rather than reusing it.
+    configureWorkloads();
 
     // Replay the constructor's exact seeding sequence.
     const ProtocolParams proto = effectiveProtoParams();
@@ -228,28 +234,40 @@ System::buildControllers(NodeId id, std::uint64_t seed)
     }
 }
 
+void
+System::configureWorkloads()
+{
+    // The custom std::function factory bypasses spec validation (its
+    // spec may be the unused default).
+    wlFactory_ = cfg_.workloadFactory
+        ? nullptr
+        : std::make_unique<WorkloadFactory>(cfg_.workload,
+                                            cfg_.numNodes, addrMap_);
+    if (cfg_.recordTrace.empty()) {
+        traceWriter_.reset();
+        return;
+    }
+    TraceHeader hdr;
+    hdr.numNodes = static_cast<std::uint32_t>(cfg_.numNodes);
+    hdr.blockBytes = cfg_.blockBytes;
+    hdr.seed = cfg_.seed;
+    hdr.warmupOpsPerProcessor = cfg_.warmupOpsPerProcessor;
+    hdr.provenance = cfg_.workloadFactory ? "custom-factory"
+                                          : cfg_.workload.name();
+    traceWriter_ = std::make_unique<TraceWriter>(std::move(hdr));
+}
+
 std::unique_ptr<Workload>
 System::makeWorkload(NodeId node, std::uint64_t seed)
 {
-    if (cfg_.workloadFactory)
-        return cfg_.workloadFactory(node, cfg_.numNodes, seed);
-
-    if (cfg_.workload == "uniform") {
-        return std::make_unique<UniformSharedWorkload>(
-            cfg_.uniformBlocks, cfg_.microStoreFraction,
-            cfg_.blockBytes, seed);
+    std::unique_ptr<Workload> wl = cfg_.workloadFactory
+        ? cfg_.workloadFactory(node, cfg_.numNodes, seed)
+        : wlFactory_->make(node, seed);
+    if (traceWriter_) {
+        wl = std::make_unique<RecordingWorkload>(
+            std::move(wl), traceWriter_.get(), node);
     }
-    if (cfg_.workload == "hot") {
-        return std::make_unique<HotBlockWorkload>(
-            0, cfg_.microStoreFraction, seed);
-    }
-    if (cfg_.workload == "private") {
-        return std::make_unique<PrivateWorkload>(
-            node, addrMap_, 1 << 15, cfg_.microStoreFraction, seed);
-    }
-    return std::make_unique<CommercialWorkload>(
-        node, cfg_.numNodes, addrMap_,
-        CommercialParams::preset(cfg_.workload), seed);
+    return wl;
 }
 
 bool
@@ -332,6 +350,12 @@ System::run()
         throw std::runtime_error(
             "simulation failed to drain before maxTicks");
     }
+
+    // Flush the recorded trace once the run is complete — every
+    // sequencer has pulled exactly its budget, so the trace holds the
+    // full (warmup + measured) operation streams.
+    if (traceWriter_)
+        traceWriter_->writeFile(cfg_.recordTrace);
 }
 
 System::Results

@@ -24,6 +24,8 @@
 #include "proto/types.hh"
 #include "sim/event_queue.hh"
 #include "workload/commercial.hh"
+#include "workload/factory.hh"
+#include "workload/trace.hh"
 #include "workload/workload.hh"
 
 namespace tokensim {
@@ -54,21 +56,26 @@ struct SystemConfig
     std::uint32_t blockBytes = 64;
 
     /**
-     * Workload: a preset name — "oltp", "apache", "specjbb",
-     * "uniform", "hot", "private" — unless workloadFactory is set.
+     * The operation source: a synthetic preset name ("oltp",
+     * "apache", "specjbb", "producer-consumer", "lock-ping",
+     * "uniform", "hot", "private") with its per-preset knobs, or a
+     * recorded trace to replay (WorkloadSpec::trace(path)). A plain
+     * string assigns the preset. Ignored when workloadFactory is set.
      */
-    std::string workload = "oltp";
+    WorkloadSpec workload;
 
     /** Custom per-node workload factory (overrides `workload`). */
     std::function<std::unique_ptr<Workload>(NodeId, int,
                                             std::uint64_t seed)>
         workloadFactory;
 
-    /** Hot-set size for the "uniform" micro workload. */
-    std::uint64_t uniformBlocks = 512;
-
-    /** Store fraction for the micro workloads. */
-    double microStoreFraction = 0.3;
+    /**
+     * When non-empty, record every operation the sequencers pull
+     * (warmup included) and write the trace here as run() completes —
+     * replayable later via WorkloadSpec::trace(). Meant for one
+     * System at a time (parallel shards would race on the file).
+     */
+    std::string recordTrace;
 
     /** Operations each processor executes (measured window). */
     std::uint64_t opsPerProcessor = 20000;
@@ -250,6 +257,9 @@ class System
                                            std::uint64_t seed);
     void buildControllers(NodeId id, std::uint64_t seed);
 
+    /** (Re)build the workload factory and trace recorder for cfg_. */
+    void configureWorkloads();
+
     /** cfg_.proto with protocol-specific fixups applied (tokenNull
      *  disables reissue timers); what controllers are built/reset
      *  with. */
@@ -261,6 +271,8 @@ class System
     ProtoContext ctx_;
     std::unique_ptr<TokenAuditor> auditor_;
     AddressMap addrMap_;
+    std::unique_ptr<WorkloadFactory> wlFactory_;
+    std::unique_ptr<TraceWriter> traceWriter_;
     std::vector<std::unique_ptr<CacheController>> caches_;
     std::vector<std::unique_ptr<MemoryController>> memories_;
     std::vector<std::unique_ptr<Node>> nodes_;

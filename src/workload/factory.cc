@@ -1,0 +1,66 @@
+#include "workload/factory.hh"
+
+#include <stdexcept>
+
+#include "workload/commercial.hh"
+
+namespace tokensim {
+
+WorkloadFactory::WorkloadFactory(const WorkloadSpec &spec,
+                                 int num_nodes, const AddressMap &map)
+    : spec_(spec), numNodes_(num_nodes), map_(map)
+{
+    if (spec_.isTrace()) {
+        trace_ = TraceData::loadCached(spec_.tracePath);
+        if (static_cast<int>(trace_->numNodes()) != num_nodes) {
+            throw TraceError(
+                "'" + spec_.tracePath + "' was recorded on " +
+                std::to_string(trace_->numNodes()) +
+                " nodes but the system has " +
+                std::to_string(num_nodes));
+        }
+        return;
+    }
+    // Validate the preset name up front (the commercial presets
+    // validate inside CommercialParams::preset).
+    const std::string &p = spec_.preset;
+    if (p != "uniform" && p != "hot" && p != "private" &&
+        p != "producer-consumer" && p != "lock-ping") {
+        CommercialParams::preset(p);   // throws on unknown names
+    }
+}
+
+std::unique_ptr<Workload>
+WorkloadFactory::make(NodeId node, std::uint64_t seed) const
+{
+    if (trace_)
+        return std::make_unique<TraceWorkload>(trace_, node);
+
+    const std::string &p = spec_.preset;
+    if (p == "uniform") {
+        return std::make_unique<UniformSharedWorkload>(
+            spec_.uniformBlocks, spec_.storeFraction,
+            map_.blockBytes, seed);
+    }
+    if (p == "hot") {
+        return std::make_unique<HotBlockWorkload>(
+            0, spec_.storeFraction, seed);
+    }
+    if (p == "private") {
+        return std::make_unique<PrivateWorkload>(
+            node, map_, 1 << 15, spec_.storeFraction, seed);
+    }
+    if (p == "producer-consumer") {
+        return std::make_unique<ProducerConsumerWorkload>(
+            node, numNodes_, map_, spec_.prodConsBlocks, seed);
+    }
+    if (p == "lock-ping") {
+        return std::make_unique<LockPingWorkload>(
+            node, numNodes_, map_, spec_.lockBlocks,
+            spec_.sectionOps, seed);
+    }
+    return std::make_unique<CommercialWorkload>(
+        node, numNodes_, map_, CommercialParams::preset(p), seed);
+}
+
+} // namespace tokensim

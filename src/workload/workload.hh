@@ -18,6 +18,7 @@
 #ifndef TOKENSIM_WORKLOAD_WORKLOAD_HH
 #define TOKENSIM_WORKLOAD_WORKLOAD_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -244,6 +245,140 @@ class PrivateWorkload : public Workload
     double storeFraction_;
     Rng rng_;
     std::uint64_t count_ = 0;
+};
+
+/**
+ * Pure producer-consumer sharing: every block of a shared buffer
+ * region has one static producer (block index mod node count) that
+ * writes it; all other processors read it. This isolates the
+ * producer-consumer component that the commercial mixes dilute with
+ * private traffic — useful for studying forwarding behavior and as a
+ * golden-trace workload whose sharing pattern is easy to reason about.
+ */
+class ProducerConsumerWorkload : public Workload
+{
+  public:
+    ProducerConsumerWorkload(NodeId node, int num_nodes,
+                             const AddressMap &map,
+                             std::uint64_t buffer_blocks,
+                             std::uint64_t seed,
+                             int ops_per_transaction = 20)
+        : node_(node), numNodes_(num_nodes),
+          base_(map.prodConsBase(num_nodes)),
+          blockBytes_(map.blockBytes),
+          blocks_(std::min<std::uint64_t>(buffer_blocks,
+                                          map.prodConsBlocks)),
+          rng_(seed), opsPerTransaction_(ops_per_transaction)
+    {}
+
+    WorkloadOp
+    next() override
+    {
+        const std::uint64_t idx = rng_.below(blocks_);
+        const NodeId producer = static_cast<NodeId>(
+            idx % static_cast<std::uint64_t>(numNodes_));
+        WorkloadOp op;
+        op.addr = base_ + idx * blockBytes_;
+        op.op = producer == node_ ? MemOp::store : MemOp::load;
+        op.endsTransaction = (++count_ % opsPerTransaction_) == 0;
+        return op;
+    }
+
+    std::string name() const override { return "producer-consumer"; }
+
+  private:
+    NodeId node_;
+    int numNodes_;
+    Addr base_;
+    std::uint32_t blockBytes_;
+    std::uint64_t blocks_;
+    Rng rng_;
+    int opsPerTransaction_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Lock-contended ping-pong: every processor loops acquire → critical
+ * section → release over a small set of lock blocks shared by all
+ * nodes. An acquire is the load+store RMW pair of a test-and-set, the
+ * critical section is a few private accesses (the protected work),
+ * and the release is a final store to the lock that also ends the
+ * transaction. With few locks and many contenders the lock lines
+ * ping-pong continuously — a barrier-style stress for migratory
+ * sharing, racing transient requests, and persistent-request
+ * starvation avoidance.
+ */
+class LockPingWorkload : public Workload
+{
+  public:
+    LockPingWorkload(NodeId node, int num_nodes, const AddressMap &map,
+                     std::uint64_t lock_blocks, int section_ops,
+                     std::uint64_t seed)
+        : privateBase_(map.privateBase(node)),
+          lockBase_(map.migratoryBase(num_nodes)),
+          blockBytes_(map.blockBytes),
+          locks_(std::min<std::uint64_t>(
+              lock_blocks ? lock_blocks : 1, map.migratoryBlocks)),
+          sectionOps_(section_ops), rng_(seed)
+    {}
+
+    WorkloadOp
+    next() override
+    {
+        WorkloadOp op;
+        switch (phase_) {
+          case Phase::acquireLoad:
+            lockAddr_ = lockBase_ + rng_.below(locks_) * blockBytes_;
+            op = WorkloadOp{MemOp::load, lockAddr_, false};
+            phase_ = Phase::acquireStore;
+            break;
+          case Phase::acquireStore:
+            op = WorkloadOp{MemOp::store, lockAddr_, false};
+            sectionLeft_ = sectionOps_;
+            phase_ = sectionLeft_ > 0 ? Phase::section
+                                      : Phase::release;
+            break;
+          case Phase::section:
+            // Protected work: a small private working set, half
+            // stores (the shared data a real lock guards is modeled
+            // by the lock line itself ping-ponging).
+            op.addr = privateBase_ +
+                rng_.below(kSectionBlocks) * blockBytes_;
+            op.op = rng_.chance(0.5) ? MemOp::store : MemOp::load;
+            if (--sectionLeft_ == 0)
+                phase_ = Phase::release;
+            break;
+          case Phase::release:
+            // The release makes the next contender's acquire miss.
+            op = WorkloadOp{MemOp::store, lockAddr_, true};
+            phase_ = Phase::acquireLoad;
+            break;
+        }
+        return op;
+    }
+
+    std::string name() const override { return "lock-ping"; }
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        acquireLoad,
+        acquireStore,
+        section,
+        release,
+    };
+
+    static constexpr std::uint64_t kSectionBlocks = 64;
+
+    Addr privateBase_;
+    Addr lockBase_;
+    std::uint32_t blockBytes_;
+    std::uint64_t locks_;
+    int sectionOps_;
+    Rng rng_;
+    Phase phase_ = Phase::acquireLoad;
+    Addr lockAddr_ = 0;
+    int sectionLeft_ = 0;
 };
 
 } // namespace tokensim

@@ -108,7 +108,7 @@ TEST(TokenM, UsesLessRequestTrafficThanTokenB)
         cfg.topology = "torus";
         cfg.protocol = kind;
         cfg.workload = "uniform";
-        cfg.uniformBlocks = 64;
+        cfg.workload.uniformBlocks = 64;
         cfg.opsPerProcessor = 1500;
         cfg.attachAuditor = true;
         cfg.seed = 5;
@@ -137,7 +137,7 @@ TEST(TokenD, UsesLessRequestTrafficThanTokenM)
         cfg.topology = "torus";
         cfg.protocol = kind;
         cfg.workload = "uniform";
-        cfg.uniformBlocks = 256;
+        cfg.workload.uniformBlocks = 256;
         cfg.opsPerProcessor = 1000;
         cfg.attachAuditor = false;
         cfg.seed = 6;
@@ -157,7 +157,7 @@ TEST(TokenA, BroadcastsWhenBandwidthIsPlentiful)
     cfg.topology = "torus";
     cfg.protocol = ProtocolKind::tokenA;
     cfg.workload = "uniform";
-    cfg.uniformBlocks = 256;
+    cfg.workload.uniformBlocks = 256;
     cfg.opsPerProcessor = 1500;
     cfg.net.unlimitedBandwidth = true;   // utilization estimate ~= 0
     cfg.attachAuditor = true;
@@ -183,7 +183,7 @@ TEST(TokenA, SwitchesToUnicastUnderBandwidthPressure)
     cfg.topology = "torus";
     cfg.protocol = ProtocolKind::tokenA;
     cfg.workload = "uniform";
-    cfg.uniformBlocks = 256;
+    cfg.workload.uniformBlocks = 256;
     cfg.opsPerProcessor = 1500;
     cfg.net.bytesPerNs = 0.4;   // starved links: 1/8 the paper's BW
     cfg.attachAuditor = true;
@@ -211,7 +211,7 @@ TEST(TokenA, AdaptiveUsesLessTrafficThanTokenBWhenStarved)
         cfg.topology = "torus";
         cfg.protocol = kind;
         cfg.workload = "uniform";
-        cfg.uniformBlocks = 256;
+        cfg.workload.uniformBlocks = 256;
         cfg.opsPerProcessor = 1200;
         cfg.net.bytesPerNs = 0.4;
         cfg.seed = 9;

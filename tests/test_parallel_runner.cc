@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,7 +46,7 @@ smallMatrix()
         cfg.topology = p.topo;
         cfg.protocol = p.proto;
         cfg.workload = "uniform";
-        cfg.uniformBlocks = 128;
+        cfg.workload.uniformBlocks = 128;
         cfg.proto.tokensPerBlock = p.tokens;
         cfg.opsPerProcessor = 300;
         cfg.seed = 23;
@@ -133,7 +134,7 @@ TEST(SystemReuse, ResetRunIsBitIdenticalToFreshConstructRun)
     a.numNodes = 8;
     a.protocol = ProtocolKind::tokenB;
     a.workload = "uniform";
-    a.uniformBlocks = 128;
+    a.workload.uniformBlocks = 128;
     a.opsPerProcessor = 300;
     a.seed = 5;
 
@@ -147,7 +148,8 @@ TEST(SystemReuse, ResetRunIsBitIdenticalToFreshConstructRun)
     std::unique_ptr<System> reused;
     for (const SystemConfig &cfg : {a, b}) {
         for (std::uint64_t seed : {cfg.seed, cfg.seed + 1}) {
-            SCOPED_TRACE(cfg.workload + "/" + std::to_string(seed));
+            SCOPED_TRACE(cfg.workload.name() + "/" +
+                         std::to_string(seed));
             expectRawIdentical(runOnceReusing(reused, cfg, seed),
                                runOnce(cfg, seed));
         }
@@ -230,7 +232,7 @@ TEST(ParallelRunner, SingleSpecSeedsShardAcrossThreads)
     cfg.numNodes = 8;
     cfg.protocol = ProtocolKind::tokenM;
     cfg.workload = "uniform";
-    cfg.uniformBlocks = 64;
+    cfg.workload.uniformBlocks = 64;
     cfg.opsPerProcessor = 250;
     cfg.seed = 5;
     const ExperimentSpec spec{cfg, 5, "tokenM"};
@@ -267,6 +269,86 @@ TEST(ParallelRunner, EmptySpecListIsFine)
 {
     EXPECT_TRUE(
         ParallelRunner().run(std::vector<ExperimentSpec>{}).empty());
+}
+
+TEST(TraceRoundTrip, ReplayMatchesLiveRunSeriallyAndInParallel)
+{
+    // Record a live generator run, then replay the trace through the
+    // serial loop and through the ParallelRunner at several thread
+    // counts: every result must be bit-identical to the live run.
+    // This welds the trace subsystem onto the determinism contract —
+    // a replayed artifact is exactly as reproducible as the
+    // generator, no matter how the shards are scheduled.
+    std::filesystem::create_directories("test_traces");
+    const std::string path = "test_traces/runner_round_trip.trace";
+
+    SystemConfig live;
+    live.numNodes = 8;
+    live.protocol = ProtocolKind::tokenB;
+    live.workload = "oltp";
+    live.opsPerProcessor = 400;
+    live.seed = 31;
+    live.recordTrace = path;
+    const ExperimentResult live_result = aggregateResults(
+        {runOnce(live, live.seed)}, "live");
+
+    SystemConfig replay = live;
+    replay.recordTrace.clear();
+    replay.workload = WorkloadSpec::trace(path);
+    const ExperimentSpec spec{replay, 1, "replay"};
+
+    const ExperimentResult serial =
+        runExperiment(replay, 1, "replay");
+    expectIdentical(serial, live_result);
+
+    for (int threads : {1, 2, 4}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const ExperimentResult parallel =
+            ParallelRunner(ParallelRunnerOptions{threads}).run(spec);
+        expectIdentical(parallel, live_result);
+        expectIdentical(parallel, serial);
+    }
+}
+
+TEST(TraceRoundTrip, MixedPresetAndTraceSweepIsDeterministic)
+{
+    // A sweep whose specs alternate generator presets and trace
+    // replay exercises the worker-arena reset path across
+    // preset↔trace switches; parallel must still match serial.
+    std::filesystem::create_directories("test_traces");
+    const std::string path = "test_traces/runner_mixed.trace";
+
+    SystemConfig rec;
+    rec.numNodes = 8;
+    rec.protocol = ProtocolKind::tokenB;
+    rec.workload = "producer-consumer";
+    rec.opsPerProcessor = 300;
+    rec.seed = 11;
+    rec.recordTrace = path;
+    runOnce(rec, rec.seed);
+
+    std::vector<ExperimentSpec> specs;
+    for (const char *preset : {"uniform", "lock-ping"}) {
+        SystemConfig cfg = rec;
+        cfg.recordTrace.clear();
+        cfg.workload = preset;
+        specs.push_back(ExperimentSpec{cfg, 2, preset});
+    }
+    SystemConfig cfg = rec;
+    cfg.recordTrace.clear();
+    cfg.workload = WorkloadSpec::trace(path);
+    specs.push_back(ExperimentSpec{cfg, 2, "replay"});
+
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+    const std::vector<ExperimentResult> parallel =
+        ParallelRunner(ParallelRunnerOptions{3}).run(specs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(specs[i].label);
+        expectIdentical(parallel[i], serial[i]);
+    }
 }
 
 TEST(ParallelRunner, ShardExceptionPropagates)

@@ -81,11 +81,20 @@ INSTANTIATE_TEST_SUITE_P(
         Combo{ProtocolKind::hammer, "tree", "apache"},
         Combo{ProtocolKind::tokenB, "torus", "uniform"},
         Combo{ProtocolKind::directory, "torus", "uniform"},
-        Combo{ProtocolKind::tokenB, "torus", "private"}),
+        Combo{ProtocolKind::tokenB, "torus", "private"},
+        Combo{ProtocolKind::tokenB, "torus", "producer-consumer"},
+        Combo{ProtocolKind::directory, "torus", "producer-consumer"},
+        Combo{ProtocolKind::tokenB, "torus", "lock-ping"},
+        Combo{ProtocolKind::hammer, "torus", "lock-ping"}),
     [](const ::testing::TestParamInfo<Combo> &info) {
-        return std::string(protocolName(std::get<0>(info.param))) +
-            "_" + std::get<1>(info.param) + "_" +
-            std::get<2>(info.param);
+        std::string name =
+            std::string(protocolName(std::get<0>(info.param))) + "_" +
+            std::get<1>(info.param) + "_" + std::get<2>(info.param);
+        // gtest names allow [A-Za-z0-9_] only ("producer-consumer").
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
     });
 
 TEST(SystemDeterminism, SameSeedSameResult)
@@ -125,7 +134,7 @@ TEST(SystemShape, TokenBBeatsDirectoryOnCacheToCacheWorkload)
     // home indirection makes TokenB faster than Directory.
     SystemConfig cfg = baseConfig(ProtocolKind::tokenB, "torus",
                                   "uniform");
-    cfg.uniformBlocks = 128;
+    cfg.workload.uniformBlocks = 128;
     cfg.opsPerProcessor = 2000;
     System token(cfg);
     token.run();

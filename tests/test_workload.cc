@@ -237,6 +237,91 @@ TEST(MicroWorkloads, HotBlockAlwaysSameAddress)
     }
 }
 
+TEST(ProducerConsumerPreset, RolesAreStaticAndDisjoint)
+{
+    AddressMap map;
+    const Addr base = map.prodConsBase(4);
+    const Addr end = base + map.prodConsBlocks * 64;
+    // Any block one node stores to must never be stored by another,
+    // and every access stays inside the producer-consumer region.
+    std::map<Addr, int> writers;
+    for (NodeId node = 0; node < 4; ++node) {
+        ProducerConsumerWorkload w(node, 4, map, 64, 10 + node);
+        std::map<Addr, bool> wrote;
+        int stores = 0;
+        for (int i = 0; i < 5000; ++i) {
+            const WorkloadOp op = w.next();
+            ASSERT_GE(op.addr, base);
+            ASSERT_LT(op.addr, end);
+            if (op.op == MemOp::store) {
+                ++stores;
+                if (!wrote[op.addr]) {
+                    wrote[op.addr] = true;
+                    ++writers[op.addr];
+                }
+            }
+        }
+        // With 64 blocks over 4 nodes each node produces ~1/4.
+        EXPECT_GT(stores, 5000 / 8);
+        EXPECT_LT(stores, 5000 / 2);
+    }
+    for (const auto &[addr, count] : writers)
+        EXPECT_EQ(count, 1) << std::hex << addr;
+}
+
+TEST(LockPingPreset, AcquireSectionReleaseShape)
+{
+    AddressMap map;
+    const Addr lock_base = map.migratoryBase(4);
+    const Addr lock_end = lock_base + map.migratoryBlocks * 64;
+    const int section_ops = 3;
+    LockPingWorkload w(1, 4, map, 4, section_ops, 77);
+
+    for (int iter = 0; iter < 500; ++iter) {
+        // Acquire: load then store the same lock block.
+        const WorkloadOp acq_load = w.next();
+        ASSERT_EQ(acq_load.op, MemOp::load);
+        ASSERT_GE(acq_load.addr, lock_base);
+        ASSERT_LT(acq_load.addr, lock_end);
+        ASSERT_FALSE(acq_load.endsTransaction);
+        const WorkloadOp acq_store = w.next();
+        ASSERT_EQ(acq_store.op, MemOp::store);
+        ASSERT_EQ(acq_store.addr, acq_load.addr);
+
+        // Critical section: private accesses only.
+        for (int i = 0; i < section_ops; ++i) {
+            const WorkloadOp op = w.next();
+            ASSERT_GE(op.addr, map.privateBase(1));
+            ASSERT_LT(op.addr, map.privateBase(2));
+            ASSERT_FALSE(op.endsTransaction);
+        }
+
+        // Release: a store to the held lock ends the transaction.
+        const WorkloadOp rel = w.next();
+        ASSERT_EQ(rel.op, MemOp::store);
+        ASSERT_EQ(rel.addr, acq_load.addr);
+        ASSERT_TRUE(rel.endsTransaction);
+    }
+}
+
+TEST(LockPingPreset, ContendersShareTheLockSet)
+{
+    // Every node must draw locks from the same small set — that is
+    // what makes the lines ping-pong.
+    AddressMap map;
+    std::set<Addr> locks_seen[2];
+    for (int n = 0; n < 2; ++n) {
+        LockPingWorkload w(static_cast<NodeId>(n), 4, map, 2, 1, n);
+        for (int i = 0; i < 400; ++i) {
+            const WorkloadOp op = w.next();
+            if (op.addr >= map.migratoryBase(4))
+                locks_seen[n].insert(op.addr);
+        }
+    }
+    EXPECT_EQ(locks_seen[0].size(), 2u);
+    EXPECT_EQ(locks_seen[0], locks_seen[1]);
+}
+
 TEST(MicroWorkloads, PrivateRegionsDisjointAcrossNodes)
 {
     AddressMap map;
