@@ -282,6 +282,66 @@ BM_SystemResetReuse(benchmark::State &state)
 BENCHMARK(BM_SystemResetReuse);
 
 void
+BM_TimerScheduleCancel(benchmark::State &state)
+{
+    // The reissue-timeout shape: arm a pooled timer per in-flight
+    // miss, cancel most of them (misses usually complete first), let
+    // the rest fire. Steady state runs entirely out of the recycled
+    // slot pool; the superseded proxies drain as generation checks.
+    EventQueue eq;
+    std::vector<EventQueue::Timer> timers(64);
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < timers.size(); ++i) {
+            timers[i].scheduleIn(eq,
+                                 static_cast<Tick>(50 + (i % 7)),
+                                 [&fired]() { ++fired; });
+        }
+        for (std::size_t i = 0; i < timers.size(); ++i) {
+            if (i % 8 != 0)
+                timers[i].cancel();
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(timers.size()));
+}
+BENCHMARK(BM_TimerScheduleCancel);
+
+void
+BM_MultiHopUnicast(benchmark::State &state)
+{
+    // Cut-through routing: a far (3-4 hop) unicast on the 4x4 torus
+    // costs one path walk and one delivery event, regardless of hop
+    // count (this was one event per hop before).
+    EventQueue eq;
+    Network net(eq,
+                std::unique_ptr<Topology>(makeTopology("torus", 16)),
+                NetworkParams{});
+    std::vector<std::unique_ptr<NullSink>> sinks;
+    for (int i = 0; i < 16; ++i) {
+        sinks.push_back(std::make_unique<NullSink>());
+        net.attach(static_cast<NodeId>(i), sinks.back().get());
+    }
+    NodeId src = 0;
+    for (auto _ : state) {
+        Message m;
+        m.type = MsgType::data;
+        m.cls = MsgClass::data;
+        m.hasData = true;
+        m.src = src;
+        m.dest = static_cast<NodeId>((src + 10) % 16);   // 4 hops
+        m.addr = 0x40;
+        net.unicast(m);
+        eq.run();
+        src = (src + 1) % 16;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MultiHopUnicast);
+
+void
 BM_EventQueueFarHorizon(benchmark::State &state)
 {
     // Far-future scheduling exercises the overflow heap and the

@@ -82,9 +82,11 @@ main()
             if (norm == 0)
                 norm = r.cyclesPerTransaction;
             bench::bar(p.label, r.cyclesPerTransaction, norm,
-                       strformat("(%.1f cyc/txn +/- %.1f)",
+                       strformat("(%.1f cyc/txn +/- %.1f, "
+                                 "%.1f evt/op)",
                                  r.cyclesPerTransaction,
-                                 r.cyclesPerTransactionStddev));
+                                 r.cyclesPerTransactionStddev,
+                                 r.eventsPerOp));
         }
         std::printf("  %-28s %6s |  (torus provides no total order)\n",
                     "Snooping - torus", "n/a");

@@ -85,9 +85,11 @@ main()
             if (norm == 0)
                 norm = r.cyclesPerTransaction;
             bench::bar(p.label, r.cyclesPerTransaction, norm,
-                       strformat("(%.1f cyc/txn, miss %.0f ns)",
+                       strformat("(%.1f cyc/txn, miss %.0f ns, "
+                                 "%.1f evt/op)",
                                  r.cyclesPerTransaction,
-                                 r.avgMissLatencyNs));
+                                 r.avgMissLatencyNs,
+                                 r.eventsPerOp));
         }
     }
 

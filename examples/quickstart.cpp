@@ -94,6 +94,11 @@ main(int argc, char **argv)
                 ticksToNsF(static_cast<Tick>(r.avgMissLatencyTicks)));
     std::printf("traffic:       %.1f bytes/miss on the interconnect\n",
                 r.bytesPerMiss());
+    std::printf("sim kernel:    %.1f events/op dispatched "
+                "(%llu scheduled, %llu timer cancels)\n",
+                r.eventsPerOp(),
+                static_cast<unsigned long long>(r.eventsScheduled),
+                static_cast<unsigned long long>(r.timersCancelled));
     if (isTokenProtocol(proto)) {
         std::printf("reissues:      %.2f%% of misses reissued, "
                     "%.2f%% used persistent requests\n",

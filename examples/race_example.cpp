@@ -30,7 +30,12 @@ main()
     cfg.topology = "torus";
     cfg.protocol = ProtocolKind::tokenB;
     cfg.opsPerProcessor = 0;   // we drive the caches by hand
-    cfg.workload = "private";
+    // The workload spec is unused at zero ops; the explicit "private"
+    // preset keeps every node in its own address range if anyone
+    // raises the op budget while experimenting.
+    WorkloadSpec wl("private");
+    wl.storeFraction = 0.3;
+    cfg.workload = wl;
     cfg.attachAuditor = true;
     System sys(cfg);
 

@@ -63,7 +63,7 @@ PersistentArbiter::activateNext(Addr addr, BlockArb &b)
     b.acksPending = ctx_.numNodes;
     b.doneReceived = false;
     ++arbStats_.activations;
-    broadcastArb(MsgType::persistActivate, addr, b.requester);
+    broadcastArb(b, MsgType::persistActivate, addr, b.requester);
 }
 
 void
@@ -112,7 +112,7 @@ PersistentArbiter::startDeactivation(Addr addr, BlockArb &b)
     b.phase = Phase::deactivating;
     b.acksPending = ctx_.numNodes;
     ++arbStats_.deactivations;
-    broadcastArb(MsgType::persistDeactivate, addr, b.requester);
+    broadcastArb(b, MsgType::persistDeactivate, addr, b.requester);
 }
 
 void
@@ -133,8 +133,14 @@ PersistentArbiter::onDeactAck(const Message &msg)
 }
 
 void
-PersistentArbiter::broadcastArb(MsgType type, Addr addr, NodeId requester)
+PersistentArbiter::broadcastArb(BlockArb &b, MsgType type, Addr addr,
+                                NodeId requester)
 {
+    // The per-block handshake phases serialize: the previous broadcast
+    // always left before the next one is requested, so the block's
+    // single timer handle is free for reuse here.
+    assert(!b.bcastTimer.pending() &&
+           "overlapping arbiter broadcasts for one block");
     Message msg;
     msg.type = type;
     msg.cls = MsgClass::persistent;
@@ -142,7 +148,7 @@ PersistentArbiter::broadcastArb(MsgType type, Addr addr, NodeId requester)
     msg.addr = addr;
     msg.src = id_;
     msg.requester = requester;
-    ctx_.eq->scheduleIn(ctx_.ctrlLatency, [this, msg]() {
+    b.bcastTimer.scheduleIn(*ctx_.eq, ctx_.ctrlLatency, [this, msg]() {
         if (logging::enabled(logging::Level::debug)) {
             logging::write(logging::Level::debug, ctx_.now(),
                            strformat("arbiter.%u", id_),

@@ -71,6 +71,10 @@ class PersistentArbiter
     void
     reset()
     {
+        // BlockMap::clear parks value objects; disarm any pending
+        // broadcast timers so none fires for a wiped arbiter.
+        for (auto entry : blocks_)
+            entry.second.bcastTimer.cancel();
         blocks_.clear();
         arbStats_ = ArbiterStats{};
     }
@@ -114,6 +118,13 @@ class PersistentArbiter
         int acksPending = 0;
         bool doneReceived = false;
         SmallQueue<NodeId> queue;
+        /**
+         * Controller-latency delay before the activation/deactivation
+         * broadcast leaves this arbiter. The phases serialize, so one
+         * reusable timer handle per block covers both broadcasts —
+         * never pending twice at once (asserted in broadcastArb).
+         */
+        EventQueue::Timer bcastTimer;
     };
 
     void onRequest(const Message &msg);
@@ -127,7 +138,10 @@ class PersistentArbiter
     /** Begin the deactivation handshake. */
     void startDeactivation(Addr addr, BlockArb &b);
 
-    void broadcastArb(MsgType type, Addr addr, NodeId requester);
+    /** Broadcast an activation/deactivation for @p b's block after
+     *  the controller latency, via the block's reusable timer. */
+    void broadcastArb(BlockArb &b, MsgType type, Addr addr,
+                      NodeId requester);
 
     ProtoContext &ctx_;
     NodeId id_;

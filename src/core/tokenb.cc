@@ -34,6 +34,11 @@ TokenBCache::resetState(const ProtocolParams &params,
     params_ = params;
     rng_ = Rng(seed);
     l2_.clear();
+    // clear() parks value objects like erase() does; disarm any armed
+    // reissue timers first (resetState may be driven directly, without
+    // the queue-wide EventQueue::reset that would disarm them).
+    for (auto entry : outstanding_)
+        entry.second.timer.cancel();
     outstanding_.clear();
     persistentTable_.clear();
     persistDoneSent_.clear();
@@ -79,12 +84,12 @@ TokenBCache::request(const ProcRequest &req)
     }
 
     ++stats_.misses;
-    Transaction tr;
+    auto [it, inserted] = outstanding_.emplace(ba);
+    assert(inserted);
+    Transaction &tr = it->second;
     tr.req = req;
     tr.issuedAt = ctx_.now();
-    auto [it, inserted] = outstanding_.emplace(ba, tr);
-    assert(inserted);
-    issueTransient(ba, it->second, false);
+    issueTransient(ba, tr, false);
     scheduleTimeout(ba);
 }
 
@@ -323,6 +328,10 @@ TokenBCache::checkSatisfied(Addr addr)
         return pit != persistentTable_.end() && pit->second == id_;
     }();
 
+    // BlockMap::erase parks the value object in its tombstoned slot
+    // instead of destroying it, so disarm the reissue timer here — it
+    // must never fire for a completed transaction.
+    tr.timer.cancel();
     outstanding_.erase(it);
     if (need_done)
         sendPersistDone(addr);
@@ -357,20 +366,22 @@ TokenBCache::scheduleTimeout(Addr addr)
     auto it = outstanding_.find(addr);
     assert(it != outstanding_.end());
     Transaction &tr = it->second;
-    const std::uint64_t gen = ++tr.timerGen;
-    ctx_.eq->scheduleIn(timeoutDelay(tr.reissues),
-                        [this, addr, gen]() { onTimeout(addr, gen); });
+    tr.timer.scheduleIn(*ctx_.eq, timeoutDelay(tr.reissues),
+                        [this, addr]() { onTimeout(addr); });
 }
 
 void
-TokenBCache::onTimeout(Addr addr, std::uint64_t gen)
+TokenBCache::onTimeout(Addr addr)
 {
+    // A fired timer implies a live, non-escalated transaction: the
+    // timer is cancelled by completion (Transaction teardown) and by
+    // persistent activation, so no stale-dispatch guard is needed.
     auto it = outstanding_.find(addr);
-    if (it == outstanding_.end())
-        return;   // completed; stale timer
+    assert(it != outstanding_.end() &&
+           "reissue timer outlived its transaction");
     Transaction &tr = it->second;
-    if (tr.timerGen != gen || tr.persistentIssued)
-        return;
+    assert(!tr.persistentIssued &&
+           "reissue timer armed past persistent escalation");
 
     if (params_.reissueEnabled && tr.reissues < params_.maxReissues) {
         ++tr.reissues;
@@ -432,8 +443,11 @@ TokenBCache::handlePersistActivate(const Message &msg)
         if (it != outstanding_.end()) {
             // The activation now backs whatever transaction is in
             // flight for this block (it may be a successor of the one
-            // that invoked the persistent request).
+            // that invoked the persistent request). Reissuing is
+            // pointless from here on: the substrate guarantees the
+            // tokens arrive, so the reissue timer is disarmed.
             it->second.persistentIssued = true;
+            it->second.timer.cancel();
         } else {
             // Satisfied before activation completed: release it.
             sendPersistDone(ba);

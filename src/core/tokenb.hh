@@ -91,15 +91,22 @@ class TokenBCache : public CacheController, public TokenHolder
     TokenMoesi moesiState(Addr addr) const;
 
   protected:
-    /** One outstanding processor miss. */
+    /**
+     * One outstanding processor miss. Move-only: the reissue timer is
+     * a pooled EventQueue::Timer handle, cancelled automatically when
+     * the transaction completes (erase/overwrite destroys or
+     * reassigns the handle) — no stale timeout ever reaches the
+     * protocol.
+     */
     struct Transaction
     {
         ProcRequest req;
         Tick issuedAt = 0;
         int reissues = 0;
         bool persistentIssued = false;
-        std::uint64_t timerGen = 0;
         bool sawCacheData = false;
+        /** Reissue/persistent-escalation deadline. */
+        EventQueue::Timer timer;
     };
 
     /**
@@ -142,7 +149,7 @@ class TokenBCache : public CacheController, public TokenHolder
 
     /** Reissue/persistent timeout machinery. */
     void scheduleTimeout(Addr addr);
-    void onTimeout(Addr addr, std::uint64_t gen);
+    void onTimeout(Addr addr);
     Tick timeoutDelay(int reissues_so_far);
     void invokePersistent(Addr addr, Transaction &trans);
     void sendPersistDone(Addr addr);

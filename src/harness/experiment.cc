@@ -71,7 +71,8 @@ identicalResults(const ExperimentResult &a, const ExperimentResult &b)
         a.pctNotReissued != b.pctNotReissued ||
         a.pctReissuedOnce != b.pctReissuedOnce ||
         a.pctReissuedMore != b.pctReissuedMore ||
-        a.pctPersistent != b.pctPersistent)
+        a.pctPersistent != b.pctPersistent ||
+        a.eventsPerOp != b.eventsPerOp)
         return false;
     for (std::size_t c = 0; c < numMsgClasses; ++c)
         if (a.bytesPerMissByClass[c] != b.bytesPerMissByClass[c])
@@ -120,6 +121,7 @@ aggregateResults(const std::vector<System::Results> &runs,
     std::uint64_t byte_links[numMsgClasses] = {};
     std::uint64_t total_byte_links = 0;
     std::uint64_t not_reissued = 0, once = 0, more = 0, persistent = 0;
+    std::uint64_t events_dispatched = 0;
     RunningStat miss_lat;
 
     for (const System::Results &r : runs) {
@@ -136,6 +138,7 @@ aggregateResults(const std::vector<System::Results> &runs,
         more += r.missesReissuedMore;
         persistent += r.missesPersistent;
         out.ops += r.ops;
+        events_dispatched += r.eventsDispatched;
         if (r.avgMissLatencyTicks > 0)
             miss_lat.add(r.avgMissLatencyTicks);
     }
@@ -166,6 +169,10 @@ aggregateResults(const std::vector<System::Results> &runs,
     }
     out.avgMissLatencyNs = ticksToNsF(
         static_cast<Tick>(miss_lat.mean()));
+    if (out.ops) {
+        out.eventsPerOp = static_cast<double>(events_dispatched) /
+            static_cast<double>(out.ops);
+    }
     return out;
 }
 

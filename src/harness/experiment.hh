@@ -36,6 +36,16 @@ struct ExperimentResult
     double pctReissuedOnce = 0;
     double pctReissuedMore = 0;
     double pctPersistent = 0;
+
+    /**
+     * Dispatched simulation events per completed operation, summed
+     * over the aggregated runs. A diagnostic of simulator cost (the
+     * per-miss event storm the timer wheel and cut-through routing
+     * collapse), NOT of simulated behavior — deliberately excluded
+     * from resultDigest() so kernel bookkeeping changes never churn
+     * golden digests; identicalResults() still covers it.
+     */
+    double eventsPerOp = 0;
 };
 
 /**

@@ -132,6 +132,9 @@ System::reset(const SystemConfig &cfg, bool trust_factory)
     if (auditor_)
         auditor_->reset();
     measureStart_ = 0;
+    measureStartScheduled_ = 0;
+    measureStartDispatched_ = 0;
+    measureStartCancelled_ = 0;
     // The workload spec is a runtime knob: reset may switch
     // preset↔trace or trace↔trace. An invalid spec (unknown preset,
     // malformed trace) throws here, leaving the System unusable —
@@ -289,6 +292,9 @@ System::resetStats()
     for (auto &s : sequencers_)
         s->resetStats();
     measureStart_ = eq_.curTick();
+    measureStartScheduled_ = eq_.scheduled();
+    measureStartDispatched_ = eq_.dispatched();
+    measureStartCancelled_ = eq_.cancelled();
 }
 
 void
@@ -383,6 +389,9 @@ System::results() const
             miss_lat.add(cs.missLatency.mean());
     }
     r.avgMissLatencyTicks = miss_lat.mean();
+    r.eventsScheduled = eq_.scheduled() - measureStartScheduled_;
+    r.eventsDispatched = eq_.dispatched() - measureStartDispatched_;
+    r.timersCancelled = eq_.cancelled() - measureStartCancelled_;
     r.traffic = net_->traffic();
     return r;
 }

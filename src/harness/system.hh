@@ -218,7 +218,24 @@ class System
         std::uint64_t missesReissuedMore = 0;
         std::uint64_t missesPersistent = 0;
 
+        // Event-kernel counters over the measured window (diagnostic:
+        // simulator cost, not simulated behavior — deliberately kept
+        // out of resultDigest() so golden digests don't churn with
+        // kernel bookkeeping changes).
+        std::uint64_t eventsScheduled = 0;
+        std::uint64_t eventsDispatched = 0;
+        std::uint64_t timersCancelled = 0;
+
         TrafficStats traffic;
+
+        /** Dispatched simulation events per completed operation. */
+        double
+        eventsPerOp() const
+        {
+            return ops ? static_cast<double>(eventsDispatched) /
+                       static_cast<double>(ops)
+                       : 0.0;
+        }
 
         /** Cycles (1 GHz => ns) per transaction. */
         double
@@ -278,6 +295,10 @@ class System
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<Sequencer>> sequencers_;
     Tick measureStart_ = 0;
+    /** Event-counter snapshots at the measurement boundary. */
+    std::uint64_t measureStartScheduled_ = 0;
+    std::uint64_t measureStartDispatched_ = 0;
+    std::uint64_t measureStartCancelled_ = 0;
 };
 
 } // namespace tokensim

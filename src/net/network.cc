@@ -167,25 +167,20 @@ Network::crossLink(LinkId link, Tick ser)
 }
 
 // ---------------------------------------------------------------------
-// Unicast
+// Unicast (cut-through: reserve the whole path at send time)
 // ---------------------------------------------------------------------
 
-void
-Network::hopUnicast(const std::vector<LinkId> *path, std::size_t i,
-                    std::uint32_t slot)
+Tick
+Network::reservePath(const std::vector<LinkId> &path, Tick ser)
 {
-    const Tick ser = serializationTicks(slotRef(slot).msg.size);
-    const Tick head = crossLink((*path)[i], ser);
-    if (i + 1 == path->size()) {
-        // Tail arrives one serialization delay after the head.
-        scheduleDelivery(slotRef(slot).msg.dest, slot, head + ser);
-        slotRelease(slot);
-        return;
+    Tick t = eq_.curTick();
+    for (LinkId link : path) {
+        const Tick start = std::max(t, linkFree_[link]);
+        if (!params_.unlimitedBandwidth)
+            linkFree_[link] = start + ser;
+        t = start + params_.linkLatency;
     }
-    // The continuation event inherits this call's slot reference.
-    eq_.schedule(head, [this, path, i, slot]() {
-        hopUnicast(path, i + 1, slot);
-    });
+    return t;
 }
 
 void
@@ -203,7 +198,13 @@ Network::unicast(Message msg)
     }
     const auto &path = topo_->route(msg.src, msg.dest);
     account(msg, path.size());
-    hopUnicast(&path, 0, acquireSlot(msg));
+    // One path walk, one delivery event: the tail arrives one
+    // serialization delay after the head clears the last link.
+    const Tick ser = serializationTicks(msg.size);
+    const Tick head = reservePath(path, ser);
+    const std::uint32_t slot = acquireSlot(msg);
+    scheduleDelivery(msg.dest, slot, head + ser);
+    slotRelease(slot);
 }
 
 // ---------------------------------------------------------------------
@@ -367,39 +368,75 @@ Network::broadcastOrdered(Message msg)
     const auto &up = topo_->routeToRoot(msg.src);
     account(msg, up.size());
 
-    // Phase 1: climb to the root switch hop by hop. The root receives
-    // the full message (head + serialization) before ordering it.
-    climbToRoot(&up, 0, acquireSlot(msg),
-                serializationTicks(msg.size));
+    // Phase 1: reserve the climb to the root in one cut-through walk.
+    // The root receives the full message (head + serialization)
+    // before ordering it, so the sequencing event lands one
+    // serialization delay after the head clears the last up-link.
+    const std::uint32_t slot = acquireSlot(msg);
+    if (up.empty()) {
+        sequenceAndFanOut(slot);
+        return;
+    }
+    const Tick ser = serializationTicks(msg.size);
+    const Tick at_root = reservePath(up, ser) + ser;
+    eq_.schedule(at_root, [this, slot]() { sequenceAndFanOut(slot); });
 }
 
 void
-Network::climbToRoot(const std::vector<LinkId> *up, std::size_t i,
-                     std::uint32_t slot, Tick ser)
+Network::sequenceAndFanOut(std::uint32_t slot)
 {
-    if (i == up->size()) {
-        // Phase 2: take the next slot in the global total order and
-        // fan out to every node — including the sender. Root events
-        // execute in tick order (FIFO within a tick), which is what
-        // serializes racing broadcasts. The climb owns the transit
-        // slot exclusively, so the sequence number is stamped in
-        // place.
-        Message &ordered = slotRef(slot).msg;
-        ordered.seq = orderSeq_++;
-        const TreeIndex &idx = downIndex();
-        auto &cls =
-            stats_.byClass[static_cast<std::size_t>(ordered.cls)];
-        cls.byteLinks += static_cast<std::uint64_t>(ordered.size) *
-            idx.edges.size();
-        launchTree(&idx, slot, nullptr);
-        return;
+    // Phase 2: take the next slot in the global total order and fan
+    // out to every node — including the sender. Root-arrival events
+    // execute in tick order (FIFO within a tick), which is what
+    // serializes racing broadcasts. The climb owns the transit slot
+    // exclusively, so the sequence number is stamped in place.
+    Message &ordered = slotRef(slot).msg;
+    ordered.seq = orderSeq_++;
+    const TreeIndex &idx = downIndex();
+    auto &cls = stats_.byClass[static_cast<std::size_t>(ordered.cls)];
+    cls.byteLinks +=
+        static_cast<std::uint64_t>(ordered.size) * idx.edges.size();
+
+    // Cut-through walk of the whole down tree: reserve every edge
+    // (the recurrence is identical to forwarding it edge by edge —
+    // tree edges are distinct links, so forward order is the only
+    // dependency), then deliver to EVERY node at the latest arrival.
+    //
+    // Delivering all copies at one tick makes an ordered broadcast
+    // atomically visible: the requester's own echo — which is what
+    // completes its transaction — can never land before another
+    // node's invalidation of the same broadcast. Traditional snooping
+    // is built on that property (a store that "performed" while a
+    // stale copy was still readable elsewhere violates sequential
+    // consistency), and real totally-ordered trees engineer their
+    // down paths to provide it. Skewed per-copy delivery only ever
+    // worked by accident of per-hop event timing; cut-through
+    // reservation made the skew wide enough to expose the race
+    // (tests/test_random_coherence.cc soaks catch it immediately).
+    // Per-link serialization and occupancy are still charged exactly
+    // as before — only the visibility instant is aligned.
+    const Tick ser = serializationTicks(ordered.size);
+    const int num_nodes = topo_->numNodes();
+    headScratch_.resize(
+        static_cast<std::size_t>(topo_->numVertices()));
+    headScratch_[static_cast<std::size_t>(topo_->rootVertex())] =
+        eq_.curTick();
+    Tick latest = 0;
+    for (const TreeEdge &e : idx.edges) {
+        const Tick at = headScratch_[static_cast<std::size_t>(e.from)];
+        const Tick start = std::max(at, linkFree_[e.link]);
+        if (!params_.unlimitedBandwidth)
+            linkFree_[e.link] = start + ser;
+        const Tick head = start + params_.linkLatency;
+        headScratch_[static_cast<std::size_t>(e.to)] = head;
+        if (e.to < num_nodes)
+            latest = std::max(latest, head + ser);
     }
-    const Tick head = crossLink((*up)[i], ser);
-    // The continuation event inherits this call's slot reference.
-    eq_.schedule(head + (i + 1 == up->size() ? ser : 0),
-                 [this, up, i, slot, ser]() {
-        climbToRoot(up, i + 1, slot, ser);
-    });
+    for (const TreeEdge &e : idx.edges) {
+        if (e.to < num_nodes)
+            scheduleDelivery(static_cast<NodeId>(e.to), slot, latest);
+    }
+    slotRelease(slot);
 }
 
 } // namespace tokensim

@@ -12,6 +12,19 @@
  * the per-hop link latency, while occupying each crossed link for its
  * serialization time.
  *
+ * Unicasts (and the ordered broadcast's climb to the root) are also
+ * cut-through in the *implementation*: the sender walks its cached
+ * route once, at send time, against the per-link busy-until cursors,
+ * and schedules a single delivery (or root-sequencing) event at the
+ * computed arrival tick — no per-hop continuation events. A link is
+ * therefore busy for exactly one serialization delay per crossing and
+ * per-route FIFO holds as before, but contended links now serve
+ * messages in *send* order rather than head-arrival order: a message
+ * reserves its downstream links when it enters the network, so a
+ * later-sent message that would have reached a shared link first now
+ * queues behind the earlier sender's reservation. (Tree-forwarded
+ * broadcasts still arbitrate edge by edge at head-arrival time.)
+ *
  * The "unlimited bandwidth" configuration used for the dark-grey bars of
  * Figure 4a/5a zeroes serialization and occupancy, leaving pure latency.
  *
@@ -155,7 +168,10 @@ class Network
      * receives the next global sequence number, and fans out to every
      * node — including the sender, which is how a snooping requester
      * learns its own place in the total order. All nodes observe all
-     * ordered broadcasts in sequence-number order.
+     * ordered broadcasts in sequence-number order, and every node
+     * observes a given broadcast at the same tick (atomic visibility:
+     * the fan-out is delivered at the latest per-link arrival, so a
+     * requester's echo cannot outrun a sharer's invalidation).
      */
     void broadcastOrdered(Message msg);
 
@@ -282,8 +298,10 @@ class Network
 
     /**
      * Arbitrate for one link *now* and return the head-arrival tick
-     * at the far end. Links are FIFO with no future reservations:
-     * occupancy starts when the message actually wins the link.
+     * at the far end. Used by the tree-forwarding (broadcast /
+     * multicast) events, which arbitrate edge by edge at head-arrival
+     * time; unicasts and the ordered climb reserve whole paths up
+     * front via reservePath() instead.
      */
     Tick crossLink(LinkId link, Tick ser);
 
@@ -305,20 +323,22 @@ class Network
                     const std::shared_ptr<const MulticastState> &mc);
 
     /**
-     * Send pooled message @p slot along the remaining @p path
-     * (starting at element @p i) hop by hop, delivering to the
-     * pooled message's dest at the end. Consumes one reference.
+     * Cut-through reservation: walk @p path's links in order at the
+     * current tick, reserving each against its busy-until cursor
+     * (occupying it for @p ser), and return the head-arrival tick at
+     * the far end of the last link. The whole route is arbitrated at
+     * send time — see the file comment for the tie-break this implies
+     * versus per-hop arbitration.
      */
-    void hopUnicast(const std::vector<LinkId> *path, std::size_t i,
-                    std::uint32_t slot);
+    Tick reservePath(const std::vector<LinkId> &path, Tick ser);
 
     /**
-     * Climb the ordered tree toward the root hop by hop; at the root,
-     * assign the next global sequence number and fan out down-tree.
-     * Consumes one reference on @p slot.
+     * The ordered-broadcast root phase: assign the next global
+     * sequence number to pooled message @p slot and fan it out down
+     * the ordered tree. Runs in the event scheduled for the tick the
+     * full message reaches the root. Consumes one reference.
      */
-    void climbToRoot(const std::vector<LinkId> *up, std::size_t i,
-                     std::uint32_t slot, Tick ser);
+    void sequenceAndFanOut(std::uint32_t slot);
 
     /** One batched delivery: destination plus the pooled message. */
     struct Delivery
@@ -357,6 +377,9 @@ class Network
     std::vector<std::vector<Delivery>> batchPool_;
     std::vector<std::unique_ptr<const TreeIndex>> bcastIndex_;
     std::unique_ptr<const TreeIndex> downIndex_;
+    /** Per-vertex head-arrival scratch for the ordered fan-out walk
+     *  (sized to the vertex count on first use, then reused). */
+    std::vector<Tick> headScratch_;
     std::uint64_t orderSeq_ = 0;
     TrafficStats stats_;
 };

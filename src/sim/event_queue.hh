@@ -40,19 +40,32 @@
  * scheduled, which preserves the global same-tick FIFO order across the
  * horizon boundary.
  *
- * There is intentionally no event cancellation: components that may need
- * to abandon a timer (e.g., TokenB reissue timers) tag their events with a
- * generation counter and ignore stale firings. This mirrors the common
- * simulator idiom and keeps the queue simple and fast.
+ * ## Timers (cancellable, reschedulable)
+ *
+ * Plain scheduled events cannot be cancelled — the bucket arena hands
+ * out no stable handles. Components that need an abandonable deadline
+ * (reissue timeouts, the arbiter's delayed broadcasts) hold an
+ * EventQueue::Timer: a handle onto a slot-stable pooled timer record.
+ * Arming stores the callback in the pool slot and schedules a small
+ * proxy event carrying (slot, generation); cancel and reschedule bump
+ * the generation (cancel also destroys the callback immediately, so
+ * captures are released at cancel time). A superseded proxy still
+ * drains through the ring — cancellation is lazy — but it fires into a
+ * generation check instead of a user callback, costs no protocol work,
+ * and is excluded from dispatched(). Slots recycle through a free list
+ * tied to handle lifetime, so steady-state timer churn is
+ * allocation-free like everything else here.
  */
 
 #ifndef TOKENSIM_SIM_EVENT_QUEUE_HH
 #define TOKENSIM_SIM_EVENT_QUEUE_HH
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -217,6 +230,7 @@ class EventQueue
     void
     schedule(Tick when, F &&fn)
     {
+        ++scheduled_;
         if (when < curTick_)
             when = curTick_;
         if (when - curTick_ < windowSize) {
@@ -253,8 +267,29 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return ringCount_ + overflow_.size(); }
 
-    /** Total number of events executed so far. */
+    /** Total number of events executed so far. This is the raw record
+     *  count — it includes superseded timer proxies that fired into a
+     *  generation check; see dispatched() for the useful-work count. */
     std::uint64_t executed() const { return executed_; }
+
+    /** Total events accepted by schedule()/scheduleIn(), including
+     *  the proxy scheduled by every Timer arm/re-arm. */
+    std::uint64_t scheduled() const { return scheduled_; }
+
+    /**
+     * Events that executed a live callback: executed() minus timer
+     * proxies that fired stale (cancelled, rescheduled, or reset away
+     * before their tick). The events-per-op diagnostics report this.
+     */
+    std::uint64_t
+    dispatched() const
+    {
+        return executed_ - staleTimerFires_;
+    }
+
+    /** Timer disarms: explicit cancel(), a re-schedule of a pending
+     *  timer, or handle destruction while pending. */
+    std::uint64_t cancelled() const { return cancelled_; }
 
     /**
      * Return to the just-constructed state (time zero, no events, no
@@ -274,6 +309,18 @@ class EventQueue
         curTick_ = 0;
         nextSeq_ = 0;
         executed_ = 0;
+        scheduled_ = 0;
+        cancelled_ = 0;
+        staleTimerFires_ = 0;
+        // Disarm every timer: pending callbacks are destroyed with the
+        // rest of the queue's events. Handles keep their slots (and
+        // stay usable — re-arming after a reset is allowed); only the
+        // armed state and the stored callback are wiped.
+        for (std::uint32_t s = 0; s < timerCount_; ++s) {
+            TimerSlot &slot = timerSlot(s);
+            slot.armed = false;
+            slot.fn = Event();
+        }
     }
 
     /**
@@ -357,6 +404,173 @@ class EventQueue
         }
         return false;
     }
+
+    /**
+     * A cancellable, reschedulable deadline — the handle side of the
+     * queue's pooled timer records (see the file comment).
+     *
+     * A default-constructed Timer is idle. schedule() binds it to a
+     * queue on first use (one queue per handle, asserted), arms it,
+     * and implicitly cancels any pending arming — a Timer holds at
+     * most one live deadline. reschedule() moves a *pending* timer's
+     * deadline, reusing the stored callback; after the timer fires or
+     * is cancelled the callback is gone and schedule() must supply a
+     * new one. cancel() on an idle timer is a no-op, so completion
+     * paths can cancel unconditionally.
+     *
+     * The handle owns its pool slot: move-only, releasing the slot on
+     * destruction (cancelling first). EventQueue::reset() disarms
+     * every timer but leaves handles usable — they may be re-armed,
+     * cancelled, or destroyed afterwards. Handles must not outlive
+     * their queue.
+     */
+    class Timer
+    {
+      public:
+        Timer() = default;
+
+        ~Timer() { release(); }
+
+        Timer(const Timer &) = delete;
+        Timer &operator=(const Timer &) = delete;
+
+        Timer(Timer &&o) noexcept : eq_(o.eq_), slot_(o.slot_)
+        {
+            o.eq_ = nullptr;
+            o.slot_ = noTimer;
+        }
+
+        Timer &
+        operator=(Timer &&o) noexcept
+        {
+            if (this != &o) {
+                release();
+                eq_ = o.eq_;
+                slot_ = o.slot_;
+                o.eq_ = nullptr;
+                o.slot_ = noTimer;
+            }
+            return *this;
+        }
+
+        /** True if armed and not yet fired. */
+        bool
+        pending() const
+        {
+            return eq_ && slot_ != noTimer &&
+                eq_->timerSlot(slot_).armed;
+        }
+
+        /** Absolute fire tick; only meaningful while pending(). */
+        Tick
+        deadline() const
+        {
+            assert(pending());
+            return eq_->timerSlot(slot_).when;
+        }
+
+        /**
+         * Arm (or re-arm) the timer to run @p fn at absolute tick
+         * @p when. Supersedes any pending deadline.
+         */
+        template <typename F>
+        void
+        schedule(EventQueue &eq, Tick when, F &&fn)
+        {
+            bind(eq);
+            TimerSlot &s = eq_->timerSlot(slot_);
+            if (s.armed)
+                ++eq_->cancelled_;
+            s.fn = Event(std::forward<F>(fn));
+            arm(when);
+        }
+
+        /** Arm the timer @p delay ticks from now. */
+        template <typename F>
+        void
+        scheduleIn(EventQueue &eq, Tick delay, F &&fn)
+        {
+            schedule(eq, eq.curTick() + delay,
+                     std::forward<F>(fn));
+        }
+
+        /**
+         * Move a pending timer's deadline to @p when, keeping the
+         * stored callback. The timer must be pending — after a fire
+         * or cancel there is no callback left to reuse.
+         */
+        void
+        reschedule(Tick when)
+        {
+            assert(pending() &&
+                   "reschedule() needs a pending timer; use "
+                   "schedule() to arm with a fresh callback");
+            ++eq_->cancelled_;
+            arm(when);
+        }
+
+        /** Move a pending timer's deadline @p delay ticks from now. */
+        void
+        rescheduleIn(Tick delay)
+        {
+            reschedule(eq_->curTick() + delay);
+        }
+
+        /**
+         * Disarm: the stored callback is destroyed now (releasing its
+         * captures) and the already-scheduled proxy fires stale. Idle
+         * timers ignore this, so it is safe on every completion path.
+         */
+        void
+        cancel() noexcept
+        {
+            if (!pending())
+                return;
+            TimerSlot &s = eq_->timerSlot(slot_);
+            s.armed = false;
+            s.fn = Event();
+            ++eq_->cancelled_;
+        }
+
+      private:
+        /** Adopt @p eq and a pool slot on first use. */
+        void
+        bind(EventQueue &eq)
+        {
+            assert((!eq_ || eq_ == &eq) &&
+                   "a Timer binds to one EventQueue for life");
+            eq_ = &eq;
+            if (slot_ == noTimer)
+                slot_ = eq_->acquireTimerSlot();
+        }
+
+        /** Stamp a fresh generation and schedule the proxy. */
+        void
+        arm(Tick when)
+        {
+            auto &s = eq_->timerSlot(slot_);
+            if (when < eq_->curTick_)
+                when = eq_->curTick_;
+            ++s.gen;
+            s.when = when;
+            s.armed = true;
+            eq_->schedule(when, TimerFire{eq_, slot_, s.gen});
+        }
+
+        void
+        release() noexcept
+        {
+            if (eq_ && slot_ != noTimer) {
+                cancel();
+                eq_->releaseTimerSlot(slot_);
+            }
+            eq_ = nullptr;
+            slot_ = noTimer;
+        }
+
+        EventQueue *eq_ = nullptr;
+        std::uint32_t slot_ = noTimer;
+    };
 
   private:
     /** Ring horizon: how far ahead the bucket array reaches. */
@@ -466,6 +680,90 @@ class EventQueue
         drain_.clear();
     }
 
+    // ---- Timer pool -----------------------------------------------
+    //
+    // One slot per live Timer handle, in fixed-size chunks so slot
+    // addresses stay stable while a firing callback grows the pool.
+    // The proxy event in the ring carries (slot, generation); a
+    // generation mismatch — or a disarmed slot — means the proxy was
+    // superseded and it returns without touching user code.
+
+    /** No-slot sentinel / free-list terminator. */
+    static constexpr std::uint32_t noTimer = ~std::uint32_t{0};
+
+    struct TimerSlot
+    {
+        Event fn;                          ///< armed callback
+        Tick when = 0;                     ///< armed deadline
+        std::uint32_t gen = 0;             ///< bumped on every arm
+        std::uint32_t nextFree = noTimer;
+        bool armed = false;
+    };
+
+    static constexpr std::uint32_t timerChunkBits = 6;
+    static constexpr std::uint32_t timerChunkSize =
+        1u << timerChunkBits;
+
+    TimerSlot &
+    timerSlot(std::uint32_t s)
+    {
+        return timerChunks_[s >> timerChunkBits]
+                           [s & (timerChunkSize - 1)];
+    }
+
+    std::uint32_t
+    acquireTimerSlot()
+    {
+        std::uint32_t s;
+        if (timerFreeHead_ != noTimer) {
+            s = timerFreeHead_;
+            timerFreeHead_ = timerSlot(s).nextFree;
+        } else {
+            s = timerCount_++;
+            if ((s >> timerChunkBits) >= timerChunks_.size()) {
+                timerChunks_.push_back(
+                    std::make_unique<TimerSlot[]>(timerChunkSize));
+            }
+        }
+        return s;
+    }
+
+    void
+    releaseTimerSlot(std::uint32_t s) noexcept
+    {
+        TimerSlot &slot = timerSlot(s);
+        slot.nextFree = timerFreeHead_;
+        timerFreeHead_ = s;
+    }
+
+    /** The proxy event a Timer arm schedules into the ring. */
+    struct TimerFire
+    {
+        EventQueue *q;
+        std::uint32_t slot;
+        std::uint32_t gen;
+
+        void operator()() { q->fireTimer(slot, gen); }
+    };
+
+    /**
+     * Proxy dispatch: run the armed callback, or count a stale fire
+     * if this proxy was superseded. The callback is moved out of the
+     * slot before it runs, so it may freely re-arm its own timer.
+     */
+    void
+    fireTimer(std::uint32_t slot, std::uint32_t gen)
+    {
+        TimerSlot &s = timerSlot(slot);
+        if (!s.armed || s.gen != gen) {
+            ++staleTimerFires_;
+            return;
+        }
+        s.armed = false;
+        Event fn = std::move(s.fn);
+        fn.runAndDispose();
+    }
+
     std::vector<std::vector<Event>> buckets_;
     /** Scratch the dispatch loop drains a bucket into (swap target;
      *  retains the high-water capacity across ticks). */
@@ -475,10 +773,20 @@ class EventQueue
     /** Min-heap (via push_heap/pop_heap) of beyond-horizon events;
      *  a plain vector so capacity survives reset(). */
     std::vector<FarEntry> overflow_;
+    /** Timer pool chunks (see the Timer pool section above). */
+    std::vector<std::unique_ptr<TimerSlot[]>> timerChunks_;
+    std::uint32_t timerCount_ = 0;
+    std::uint32_t timerFreeHead_ = noTimer;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t staleTimerFires_ = 0;
 };
+
+/** The simulator's timer handle (see EventQueue::Timer). */
+using Timer = EventQueue::Timer;
 
 } // namespace tokensim
 

@@ -139,6 +139,39 @@ TEST_F(NetworkTest, ContentionSerializesSharedLink)
     EXPECT_EQ(sinks[1]->received[1].at, 200u);
 }
 
+TEST_F(NetworkTest, CutThroughReservesWholePathAtSend)
+{
+    // Cut-through semantics: the sender walks its route against the
+    // per-link busy-until cursors when it enters the network. A
+    // message sent FIRST holds its downstream reservation even
+    // against a later-sent message whose head would have reached the
+    // shared link earlier.
+    build("torus", 16);
+    net->unicast(ctrlMsg(0, 2));   // two X hops: 0->1, 1->2
+    net->unicast(ctrlMsg(1, 2));   // one hop: 1->2, sent same tick
+    eq.run();
+    // First message: head crosses 0->1 at 150, clears 1->2 at 300,
+    // tail at 325. Second message finds 1->2 reserved until 175...
+    // but its natural start (tick 0) is BEFORE the reservation was
+    // usable — the cursor pushes it to 175: head 325, tail 350.
+    ASSERT_EQ(sinks[2]->received.size(), 2u);
+    EXPECT_EQ(sinks[2]->received[0].at, 325u);
+    EXPECT_EQ(sinks[2]->received[1].at, 350u);
+}
+
+TEST_F(NetworkTest, UnicastCostsOneDeliveryEventPerMessage)
+{
+    // The whole point of cut-through routing: a multi-hop unicast
+    // schedules exactly one event (its batched delivery flush), not
+    // one continuation per hop.
+    build("torus", 16);
+    const std::uint64_t before = eq.scheduled();
+    net->unicast(ctrlMsg(0, 10));   // 4 hops on the 4x4 torus
+    EXPECT_EQ(eq.scheduled() - before, 1u);
+    eq.run();
+    EXPECT_EQ(sinks[10]->received.size(), 1u);
+}
+
 TEST_F(NetworkTest, UnlimitedBandwidthRemovesSerialization)
 {
     NetworkParams p;
@@ -254,6 +287,34 @@ TEST_F(NetworkTest, ManyOrderedBroadcastsStayOrderedUnderContention)
         ASSERT_EQ(rx.size(), 20u);
         for (std::size_t i = 1; i < rx.size(); ++i)
             EXPECT_LT(rx[i - 1].msg.seq, rx[i].msg.seq);
+    }
+}
+
+TEST_F(NetworkTest, OrderedBroadcastIsAtomicallyVisible)
+{
+    // Every node observes a given ordered broadcast at the same tick,
+    // even when down-tree links are unevenly congested — the fan-out
+    // is delivered at the latest per-link arrival. Traditional
+    // snooping's sequential consistency depends on this: a requester
+    // must not complete (via its own echo) while another node can
+    // still read a stale copy it has not yet been told to invalidate.
+    build("tree", 16);
+    // Congest one out-leaf's links with data unicasts first.
+    Message d = ctrlMsg(0, 15);
+    d.hasData = true;
+    d.cls = MsgClass::data;
+    net->unicast(d);
+    net->unicast(d);
+    net->broadcastOrdered(ctrlMsg(3, invalidNode));
+    eq.run();
+    Tick seen = 0;
+    for (int i = 0; i < 16; ++i) {
+        auto &rx = sinks[static_cast<std::size_t>(i)]->received;
+        ASSERT_FALSE(rx.empty()) << "node " << i;
+        const Tick at = rx.back().at;   // the broadcast copy
+        if (seen == 0)
+            seen = at;
+        EXPECT_EQ(at, seen) << "node " << i;
     }
 }
 

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <new>
 #include <stdexcept>
@@ -388,6 +389,247 @@ TEST(EventQueue, ResumableAfterHandlerThrows)
     EXPECT_TRUE(eq.run());
     EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
     EXPECT_EQ(eq.executed(), 4u);
+}
+
+// --- Timers: the cancellable/reschedulable pooled handles that the
+// reissue-timeout and arbiter-broadcast paths are built on.
+
+TEST(Timer, FiresOnceAtDeadline)
+{
+    EventQueue eq;
+    int fired = 0;
+    Timer t;
+    t.schedule(eq, 25, [&]() { fired += 1; });
+    EXPECT_TRUE(t.pending());
+    EXPECT_EQ(t.deadline(), 25u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(t.pending());
+    EXPECT_EQ(eq.curTick(), 25u);
+    EXPECT_EQ(eq.dispatched(), 1u);
+}
+
+TEST(Timer, CancelBeforeFire)
+{
+    EventQueue eq;
+    int fired = 0;
+    Timer t;
+    t.scheduleIn(eq, 10, [&]() { ++fired; });
+    t.cancel();
+    EXPECT_FALSE(t.pending());
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.cancelled(), 1u);
+    // The superseded proxy drained as a record but dispatched nothing.
+    EXPECT_EQ(eq.executed(), 1u);
+    EXPECT_EQ(eq.dispatched(), 0u);
+}
+
+TEST(Timer, CancelReleasesCapturesImmediately)
+{
+    EventQueue eq;
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = token;
+    Timer t;
+    t.schedule(eq, 5, [token]() {});
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+    t.cancel();
+    EXPECT_TRUE(watch.expired());   // destroyed at cancel, not drain
+    eq.run();
+}
+
+TEST(Timer, RescheduleMovesDeadlineKeepingCallback)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    Timer t;
+    t.schedule(eq, 10, [&]() { fired.push_back(eq.curTick()); });
+    t.reschedule(50);
+    EXPECT_EQ(t.deadline(), 50u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, (std::vector<Tick>{50}));
+    EXPECT_EQ(eq.curTick(), 50u);
+
+    // Rescheduling EARLIER works too: the late proxy fires stale.
+    t.schedule(eq, eq.curTick() + 100, [&]() {
+        fired.push_back(eq.curTick());
+    });
+    t.reschedule(eq.curTick() + 10);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[1], 60u);
+}
+
+TEST(Timer, StaleTimerNeverDispatches)
+{
+    // A cancelled deadline must never reach the callback even though
+    // its proxy record still drains through the ring — and a slot
+    // recycled to a NEW timer must not resurrect the old deadline.
+    EventQueue eq;
+    int old_fired = 0, new_fired = 0;
+    {
+        Timer victim;
+        victim.schedule(eq, 10, [&]() { ++old_fired; });
+    }   // destroyed while pending: cancels and frees its slot
+    Timer fresh;   // recycles the released slot
+    fresh.schedule(eq, 10, [&]() { ++new_fired; });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(old_fired, 0);
+    EXPECT_EQ(new_fired, 1);
+    EXPECT_EQ(eq.executed(), 2u);     // both proxies drained
+    EXPECT_EQ(eq.dispatched(), 1u);   // only the live one dispatched
+}
+
+TEST(Timer, HandleReuseAcrossManyArms)
+{
+    EventQueue eq;
+    int fired = 0;
+    Timer t;
+    for (int i = 0; i < 5; ++i) {
+        t.scheduleIn(eq, 7, [&]() { ++fired; });
+        EXPECT_TRUE(eq.run());
+    }
+    EXPECT_EQ(fired, 5);
+
+    // Re-arm + cancel churn on the same handle.
+    for (int i = 0; i < 5; ++i) {
+        t.scheduleIn(eq, 7, [&]() { ++fired; });
+        t.cancel();
+    }
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(Timer, CallbackMayRearmItsOwnTimer)
+{
+    // The reissue-timeout shape: the callback re-arms the very timer
+    // that is firing.
+    EventQueue eq;
+    int fired = 0;
+    Timer t;
+    std::function<void()> arm = [&]() {
+        t.scheduleIn(eq, 10, [&]() {
+            ++fired;
+            if (fired < 3)
+                arm();
+        });
+    };
+    arm();
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(Timer, CancelAfterQueueResetIsSafeAndHandleReusable)
+{
+    EventQueue eq;
+    int fired = 0;
+    Timer t;
+    t.schedule(eq, 100, [&]() { ++fired; });
+    eq.reset();   // disarms every timer, drops every event
+    EXPECT_FALSE(t.pending());
+    t.cancel();   // must be a harmless no-op
+    EXPECT_TRUE(eq.empty());
+
+    // The handle (and its slot) survive the reset and re-arm cleanly.
+    t.schedule(eq, 5, [&]() { fired += 10; });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(Timer, QueueResetDestroysArmedCaptures)
+{
+    EventQueue eq;
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = token;
+    Timer t;
+    t.schedule(eq, 50, [token]() {});
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+    eq.reset();
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(Timer, MoveTransfersOwnership)
+{
+    EventQueue eq;
+    int fired = 0;
+    Timer a;
+    a.schedule(eq, 10, [&]() { ++fired; });
+    Timer b = std::move(a);
+    EXPECT_TRUE(b.pending());
+    b.cancel();
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 0);
+
+    // Move-assign over a pending timer cancels the overwritten one.
+    Timer c, d;
+    c.schedule(eq, eq.curTick() + 10, [&]() { ++fired; });
+    d.schedule(eq, eq.curTick() + 10, [&]() { fired += 100; });
+    d = std::move(c);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 1);   // c's callback ran; d's was cancelled
+}
+
+TEST(Timer, CountersTrackScheduleDispatchCancel)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&]() { ++fired; });
+    Timer t;
+    t.schedule(eq, 10, [&]() { ++fired; });   // fires
+    Timer u;
+    u.schedule(eq, 15, [&]() { ++fired; });   // cancelled below
+    u.cancel();
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.scheduled(), 3u);
+    EXPECT_EQ(eq.executed(), 3u);
+    EXPECT_EQ(eq.dispatched(), 2u);
+    EXPECT_EQ(eq.cancelled(), 1u);
+    eq.reset();
+    EXPECT_EQ(eq.scheduled(), 0u);
+    EXPECT_EQ(eq.dispatched(), 0u);
+    EXPECT_EQ(eq.cancelled(), 0u);
+}
+
+TEST(Timer, SteadyStateTimerChurnIsAllocationFree)
+{
+    // Timer arm/fire/cancel/reschedule churn must stay allocation-free
+    // once the slot pool and ring are warm, like plain scheduling.
+    EventQueue eq;
+    std::vector<Timer> timers(32);
+    std::uint64_t fired = 0;
+    auto round = [&]() {
+        for (int rep = 0; rep < 8; ++rep) {
+            for (std::size_t i = 0; i < timers.size(); ++i) {
+                timers[i].scheduleIn(eq,
+                                     static_cast<Tick>(1 + (i % 13)),
+                                     [&fired]() { ++fired; });
+            }
+            for (std::size_t i = 0; i < timers.size(); i += 3)
+                timers[i].cancel();
+            for (std::size_t i = 1; i < timers.size(); i += 3)
+                timers[i].rescheduleIn(20);
+            eq.run();
+            // Fresh handles each rep exercise slot recycling.
+            Timer scratch;
+            scratch.scheduleIn(eq, 5, [&fired]() { ++fired; });
+            eq.run();
+        }
+    };
+    round();   // warm the pool, ring, and free list
+    eq.reset();
+    round();
+    eq.reset();
+    const std::uint64_t before = allocCount();
+    round();
+    eq.reset();
+    round();
+    EXPECT_EQ(allocCount(), before)
+        << "timer churn allocated on a warmed queue";
+    EXPECT_GT(fired, 0u);
 }
 
 TEST(Rng, Deterministic)
