@@ -14,6 +14,9 @@
  *    (unlimited bandwidth) / 26-65% (limited), because the torus has
  *    lower latency and no root bottleneck;
  *  - traffic per miss is approximately equal for both on the tree.
+ *
+ * Set TOKENSIM_WORKERS=N to shard the sweep across N worker processes
+ * (DistRunner) instead of threads; the figure is bit-identical.
  */
 
 #include <cstdio>

@@ -15,6 +15,9 @@
  *    a zero-latency directory beats Hammer by 2-9%;
  *  - traffic: Hammer uses 79-90% more than TokenB; Directory uses
  *    21-25% less than TokenB.
+ *
+ * Set TOKENSIM_WORKERS=N to shard the sweep across N worker processes
+ * (DistRunner) instead of threads; the figure is bit-identical.
  */
 
 #include <cstdio>

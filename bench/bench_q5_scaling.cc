@@ -12,6 +12,9 @@
  * This bench sweeps 4..64 processors on the torus with the uniform
  * sharing microbenchmark and reports bytes per miss for TokenB,
  * Directory, and Hammer, plus the TokenB/Directory ratio.
+ *
+ * Set TOKENSIM_WORKERS=N to shard the sweep across N worker processes
+ * (DistRunner) instead of threads; the figure is bit-identical.
  */
 
 #include <cstdio>

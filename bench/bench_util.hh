@@ -7,7 +7,11 @@
  * Environment knobs:
  *   TOKENSIM_BENCH_OPS    operations per processor (default 6000)
  *   TOKENSIM_BENCH_SEEDS  seeds per design point   (default 2)
- *   TOKENSIM_THREADS      ParallelRunner workers   (default all cores)
+ *   TOKENSIM_THREADS      ParallelRunner threads   (default all cores)
+ *   TOKENSIM_WORKERS      when set >= 1, shard the sweep across that
+ *                         many worker *processes* (DistRunner) instead
+ *                         of threads — results are bit-identical
+ *                         either way (the dist ctest gate enforces it)
  */
 
 #ifndef TOKENSIM_BENCH_BENCH_UTIL_HH
@@ -18,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/dist_runner.hh"
 #include "harness/experiment.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/system.hh"
@@ -92,14 +97,24 @@ struct Row
 };
 
 /**
- * Run a whole figure's design points through the ParallelRunner in one
- * invocation (thread count from TOKENSIM_THREADS, default all cores).
+ * Run a whole figure's design points in one invocation: across worker
+ * processes (DistRunner) when TOKENSIM_WORKERS is set, else across
+ * threads (ParallelRunner, thread count from TOKENSIM_THREADS).
  * Results come back in spec order, bit-identical to running each spec
- * serially with runExperiment().
+ * serially with runExperiment() — the runner choice is pure
+ * performance policy and can never change a figure.
  */
 inline std::vector<ExperimentResult>
 runAll(const std::vector<ExperimentSpec> &specs)
 {
+    if (const char *s = std::getenv("TOKENSIM_WORKERS")) {
+        const long v = std::strtol(s, nullptr, 10);
+        if (v >= 1) {
+            DistRunnerOptions opts;
+            opts.workers = static_cast<int>(v);
+            return DistRunner(std::move(opts)).run(specs);
+        }
+    }
     return ParallelRunner().run(specs);
 }
 

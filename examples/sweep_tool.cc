@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Process-sharded sweep CLI: run a protocol x workload experiment
+ * matrix through the DistRunner (or in-process runners, for
+ * comparison), and serve as the worker subprocess the DistRunner
+ * shards onto.
+ *
+ *   $ ./sweep_tool run [options]
+ *   $ ./sweep_tool worker
+ *
+ * `run` prints exactly one machine-parseable line per design point on
+ * stdout — `<label> <resultDigest()>` in spec order — so piping or
+ * diffing sweep outputs works unconditionally; all progress, partial
+ * aggregates, and the --stats summary go to stderr. Because every
+ * runner is bit-identical, `diff <(sweep_tool run --serial ...)
+ * <(TOKENSIM_WORKERS=8 sweep_tool run ...)` must always be empty —
+ * CI's multi-process smoke step enforces exactly that.
+ *
+ * `worker` speaks the harness/wire.hh frame protocol on stdin/stdout
+ * (hello, then one result or error frame per job frame) until EOF.
+ * DistRunner spawns it via --worker-bin or workerArgv; anything that
+ * can ship byte streams between hosts can drive it remotely.
+ *
+ * Options (run):
+ *   --protocols a,b,c  comma list (default tokenb,snooping)
+ *   --workloads a,b    comma list of presets or trace:PATH entries
+ *                      (default oltp)
+ *   --topology T       torus|tree (default: tree for snooping, else
+ *                      torus)
+ *   --nodes N          processors per system (default 8)
+ *   --ops N            measured ops/processor (default 1000)
+ *   --warmup N         warmup ops/processor (default 0)
+ *   --seeds N          seeds per design point (default 2)
+ *   --seed S           base seed (default 1)
+ *   --workers N        worker subprocesses (default: TOKENSIM_WORKERS,
+ *                      else 0 = in-process ParallelRunner)
+ *   --threads N        ParallelRunner threads when workers = 0
+ *   --serial           serial runExperiment loop (the oracle)
+ *   --fork-workers     fork-only workers instead of exec'ing self
+ *   --progress         stream shard/partial-aggregate lines (stderr)
+ *   --stats            print a summary table after the run (stderr)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness/dist_runner.hh"
+#include "harness/experiment.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/system.hh"
+
+using namespace tokensim;
+
+namespace {
+
+ProtocolKind
+parseProtocol(const std::string &s)
+{
+    if (s == "tokenb")
+        return ProtocolKind::tokenB;
+    if (s == "tokend")
+        return ProtocolKind::tokenD;
+    if (s == "tokenm")
+        return ProtocolKind::tokenM;
+    if (s == "tokena")
+        return ProtocolKind::tokenA;
+    if (s == "tokennull")
+        return ProtocolKind::tokenNull;
+    if (s == "snooping")
+        return ProtocolKind::snooping;
+    if (s == "directory")
+        return ProtocolKind::directory;
+    if (s == "hammer")
+        return ProtocolKind::hammer;
+    throw std::invalid_argument("unknown protocol: " + s);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t at = 0;
+    while (at <= s.size()) {
+        const std::size_t comma = s.find(',', at);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(at));
+            break;
+        }
+        out.push_back(s.substr(at, comma - at));
+        at = comma + 1;
+    }
+    return out;
+}
+
+struct Options
+{
+    std::vector<std::string> protocols{"tokenb", "snooping"};
+    std::vector<std::string> workloads{"oltp"};
+    std::string topology;   // empty: per-protocol default
+    int nodes = 8;
+    std::uint64_t ops = 1000;
+    std::uint64_t warmup = 0;
+    int seeds = 2;
+    std::uint64_t seed = 1;
+    int workers = -1;       // -1: TOKENSIM_WORKERS, else 0
+    int threads = 0;
+    bool serial = false;
+    bool forkWorkers = false;
+    bool progress = false;
+    bool stats = false;
+};
+
+Options
+parseOptions(int argc, char **argv, int first)
+{
+    Options o;
+    if (const char *s = std::getenv("TOKENSIM_WORKERS")) {
+        const long v = std::strtol(s, nullptr, 10);
+        o.workers = v >= 1 ? static_cast<int>(v) : 0;
+    }
+    for (int i = first; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                throw std::invalid_argument(a + " needs a value");
+            return argv[++i];
+        };
+        if (a == "--protocols")
+            o.protocols = splitCommas(value());
+        else if (a == "--workloads")
+            o.workloads = splitCommas(value());
+        else if (a == "--topology")
+            o.topology = value();
+        else if (a == "--nodes")
+            o.nodes = static_cast<int>(std::stol(value()));
+        else if (a == "--ops")
+            o.ops = std::stoull(value());
+        else if (a == "--warmup")
+            o.warmup = std::stoull(value());
+        else if (a == "--seeds")
+            o.seeds = static_cast<int>(std::stol(value()));
+        else if (a == "--seed")
+            o.seed = std::stoull(value());
+        else if (a == "--workers")
+            o.workers = static_cast<int>(std::stol(value()));
+        else if (a == "--threads")
+            o.threads = static_cast<int>(std::stol(value()));
+        else if (a == "--serial")
+            o.serial = true;
+        else if (a == "--fork-workers")
+            o.forkWorkers = true;
+        else if (a == "--progress")
+            o.progress = true;
+        else if (a == "--stats")
+            o.stats = true;
+        else
+            throw std::invalid_argument("unknown option: " + a);
+    }
+    return o;
+}
+
+WorkloadSpec
+parseWorkload(const std::string &s)
+{
+    const std::string trace_prefix = "trace:";
+    if (s.compare(0, trace_prefix.size(), trace_prefix) == 0)
+        return WorkloadSpec::trace(s.substr(trace_prefix.size()));
+    return WorkloadSpec(s);
+}
+
+std::vector<ExperimentSpec>
+buildMatrix(const Options &o)
+{
+    std::vector<ExperimentSpec> specs;
+    for (const std::string &proto_name : o.protocols) {
+        const ProtocolKind proto = parseProtocol(proto_name);
+        for (const std::string &w : o.workloads) {
+            SystemConfig cfg;
+            cfg.numNodes = o.nodes;
+            cfg.protocol = proto;
+            cfg.topology = !o.topology.empty() ? o.topology
+                : proto == ProtocolKind::snooping ? "tree"
+                                                  : "torus";
+            cfg.workload = parseWorkload(w);
+            cfg.opsPerProcessor = o.ops;
+            cfg.warmupOpsPerProcessor = o.warmup;
+            cfg.seed = o.seed;
+            specs.push_back(ExperimentSpec{
+                cfg, o.seeds, proto_name + "/" + w});
+        }
+    }
+    return specs;
+}
+
+/** Path of this binary, for exec'ing ourselves as the worker. */
+std::string
+selfExe()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf,
+                                 sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    return buf;
+}
+
+int
+runSweep(const Options &o)
+{
+    const std::vector<ExperimentSpec> specs = buildMatrix(o);
+
+    std::vector<ExperimentResult> results;
+    if (o.serial) {
+        std::fprintf(stderr, "sweep: %zu design points x %d seeds, "
+                             "serial\n",
+                     specs.size(), o.seeds);
+        for (const ExperimentSpec &s : specs)
+            results.push_back(
+                runExperiment(s.cfg, s.seeds, s.label));
+    } else if (o.workers >= 1) {
+        DistRunnerOptions d;
+        d.workers = o.workers;
+        if (!o.forkWorkers) {
+            const std::string self = selfExe();
+            if (!self.empty())
+                d.workerArgv = {self, "worker"};
+            // readlink failed (no /proc?): fall back to forked
+            // in-process workers — same protocol, same results.
+        }
+        if (o.progress) {
+            d.progress = [](const std::string &line) {
+                std::fprintf(stderr, "sweep: %s\n", line.c_str());
+            };
+        }
+        std::fprintf(stderr, "sweep: %zu design points x %d seeds "
+                             "across %d worker processes (%s)\n",
+                     specs.size(), o.seeds, d.workers,
+                     d.workerArgv.empty() ? "forked" : "exec'd");
+        results = DistRunner(std::move(d)).run(specs);
+    } else {
+        ParallelRunner runner(ParallelRunnerOptions{o.threads});
+        std::fprintf(stderr, "sweep: %zu design points x %d seeds "
+                             "across %d threads\n",
+                     specs.size(), o.seeds, runner.threads());
+        results = runner.run(specs);
+    }
+
+    // The machine-parseable contract: stdout carries exactly one
+    // "<label> <digest>" line per design point, in spec order.
+    for (const ExperimentResult &r : results)
+        std::printf("%s %s\n", r.label.c_str(),
+                    resultDigest(r).c_str());
+
+    if (o.stats) {
+        std::fprintf(stderr, "\n%-24s %12s %12s %10s %8s\n", "label",
+                     "cyc/txn", "bytes/miss", "missRate", "evt/op");
+        for (const ExperimentResult &r : results) {
+            std::fprintf(stderr, "%-24s %12.2f %12.2f %10.4f %8.2f\n",
+                         r.label.c_str(), r.cyclesPerTransaction,
+                         r.bytesPerMiss, r.missRate, r.eventsPerOp);
+        }
+    }
+    return 0;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s run [options]   (see file header)\n"
+                 "       %s worker\n",
+                 argv0, argv0);
+    return 64;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string mode = argv[1];
+    try {
+        if (mode == "worker")
+            return runDistWorker(0, 1);
+        if (mode == "run")
+            return runSweep(parseOptions(argc, argv, 2));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep_tool: %s\n", e.what());
+        return 1;
+    }
+    return usage(argv[0]);
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Multi-process experiment runner.
+ *
+ * Where ParallelRunner shards a sweep across threads, DistRunner
+ * shards the same (spec, seed) grid across worker *subprocesses*:
+ * each worker is fed one shard at a time over a pipe (job frames in
+ * the harness/wire.hh format), runs it in a private System, and
+ * streams the raw System::Results back. The parent folds raw results
+ * into the fixed (spec, seed) grid incrementally as shards complete —
+ * emitting streaming progress / partial-aggregate lines through an
+ * optional callback — but the merge itself always happens in (spec,
+ * seed) order, so the output is bit-identical to a serial
+ * runExperiment() loop and to ParallelRunner at any worker count.
+ *
+ * Fault tolerance: a worker that dies mid-shard (crash, kill, EOF
+ * with a job outstanding) or returns a malformed reply is discarded
+ * and its shard is reassigned to a healthy worker. Because a shard's
+ * result depends only on (spec, seed) — never on which process ran it
+ * or how many times it was attempted — reassignment cannot perturb
+ * the final digests. This is the process-level restatement of the
+ * paper's thesis: the performance substrate (how work is scheduled,
+ * even across failures) is decoupled from correctness (the results).
+ *
+ * Workers default to forked children running the worker loop
+ * in-process (works from any binary: tests, benches). Setting
+ * workerArgv instead execs an external worker — `sweep_tool worker`
+ * speaks exactly this protocol on stdin/stdout, which is the seam a
+ * multi-host dispatcher plugs into (ship job frames over any byte
+ * stream, not just a local pipe).
+ */
+
+#ifndef TOKENSIM_HARNESS_DIST_RUNNER_HH
+#define TOKENSIM_HARNESS_DIST_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace tokensim {
+
+/**
+ * Test-only fault injection, applied inside a worker's serve loop.
+ * The crash-recovery suite uses these to prove reassignment leaves
+ * digests untouched.
+ */
+struct DistWorkerFault
+{
+    /**
+     * After computing shard number N (0-based, counting jobs this
+     * worker served), SIGKILL the worker instead of replying — the
+     * parent sees EOF with a job outstanding. -1 disables.
+     */
+    int crashAfterShards = -1;
+
+    /**
+     * After computing shard number N, write only the first half of
+     * the result frame and exit — the parent sees a truncated reply.
+     * -1 disables.
+     */
+    int truncateAfterShards = -1;
+};
+
+/** Tuning knobs for the DistRunner. */
+struct DistRunnerOptions
+{
+    /**
+     * Worker process count. 0 picks the TOKENSIM_WORKERS environment
+     * variable if set, else std::thread::hardware_concurrency().
+     */
+    int workers = 0;
+
+    /**
+     * How many times one shard may be reassigned after worker
+     * failures before the run gives up. Bounds the pathological case
+     * where the shard itself crashes every worker it lands on.
+     */
+    int maxShardRetries = 2;
+
+    /**
+     * Exec this argv as each worker (it must speak the worker
+     * protocol on stdin/stdout, e.g. {"/path/to/sweep_tool",
+     * "worker"}). Empty: fork-only children run the in-process
+     * worker loop — no external binary needed.
+     */
+    std::vector<std::string> workerArgv;
+
+    /**
+     * Streaming observer: called once per completed shard and once
+     * per completed design point (with its partial-aggregate digest
+     * line), as completions arrive — i.e. out of spec order. Null
+     * disables. Must not throw.
+     */
+    std::function<void(const std::string &line)> progress;
+
+    /** Fault injection for worker 0 (tests only). */
+    DistWorkerFault workerFault;
+};
+
+/** Shards experiment configurations across worker subprocesses. */
+class DistRunner
+{
+  public:
+    explicit DistRunner(DistRunnerOptions opts = {});
+
+    /** Resolved worker count (>= 1). */
+    int workers() const { return workers_; }
+
+    /**
+     * Run every spec and return aggregated results in spec order,
+     * bit-identical to the serial loop (see file comment).
+     *
+     * @throws std::invalid_argument for specs a subprocess cannot
+     *         run: a custom workloadFactory (not serializable) or a
+     *         recordTrace path (workers would race on the file).
+     * @throws std::runtime_error when a shard fails deterministically
+     *         (the worker reports the shard's exception), when a
+     *         shard exhausts its retry budget, or when every worker
+     *         has died with work remaining.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentSpec> &specs) const;
+
+    /** Convenience: run one spec (its seeds still shard). */
+    ExperimentResult run(const ExperimentSpec &spec) const;
+
+  private:
+    DistRunnerOptions opts_;
+    int workers_;
+};
+
+/** One-shot helper, mirroring runExperimentsParallel(). */
+std::vector<ExperimentResult>
+runExperimentsDist(const std::vector<ExperimentSpec> &specs,
+                   int workers = 0);
+
+/**
+ * The worker side of the protocol: send hello, then serve job frames
+ * from @p in_fd — one System run per job, reusing the System across
+ * jobs exactly like a ParallelRunner worker arena — replying on
+ * @p out_fd until EOF. Returns the process exit code (0 on a clean
+ * EOF shutdown). Runs in forked DistRunner children and under
+ * `sweep_tool worker` (fds 0/1).
+ */
+int runDistWorker(int in_fd, int out_fd,
+                  const DistWorkerFault &fault = {});
+
+} // namespace tokensim
+
+#endif // TOKENSIM_HARNESS_DIST_RUNNER_HH

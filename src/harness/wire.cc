@@ -1,0 +1,624 @@
+#include "harness/wire.hh"
+
+#include <cstring>
+
+namespace tokensim {
+
+namespace {
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+        static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/**
+ * Marks the end of each struct encoding. A decode that lands anywhere
+ * but on this byte means the two sides disagree about the layout —
+ * report it as a version skew rather than whatever field error the
+ * misparse would otherwise stumble into next.
+ */
+constexpr std::uint8_t kStructEnd = 0x5a;
+
+void
+putStructEnd(WireWriter &w)
+{
+    w.u8(kStructEnd);
+}
+
+void
+checkStructEnd(WireReader &r, const char *what)
+{
+    if (r.u8(what) != kStructEnd) {
+        throw WireError(std::string(what) +
+                        ": layout mismatch (sender and receiver "
+                        "disagree about the encoding — version skew?)");
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// WireWriter
+// ---------------------------------------------------------------------
+
+void
+WireWriter::varint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out_.push_back(static_cast<char>(
+            static_cast<unsigned char>(v) | 0x80));
+        v >>= 7;
+    }
+    out_.push_back(static_cast<char>(v));
+}
+
+void
+WireWriter::svarint(std::int64_t v)
+{
+    varint(zigzag(v));
+}
+
+void
+WireWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "");
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i)
+        out_.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+}
+
+void
+WireWriter::str(const std::string &s)
+{
+    varint(s.size());
+    out_.append(s);
+}
+
+void
+WireWriter::raw(const void *data, std::size_t size)
+{
+    out_.append(static_cast<const char *>(data), size);
+}
+
+// ---------------------------------------------------------------------
+// WireReader
+// ---------------------------------------------------------------------
+
+std::uint8_t
+WireReader::u8(const char *what)
+{
+    if (remaining() < 1)
+        throw WireError(std::string("truncated while reading ") + what);
+    return p_[pos_++];
+}
+
+bool
+WireReader::boolean(const char *what)
+{
+    const std::uint8_t v = u8(what);
+    if (v > 1) {
+        throw WireError(std::string(what) + ": invalid bool byte " +
+                        std::to_string(v));
+    }
+    return v == 1;
+}
+
+std::uint64_t
+WireReader::varint(const char *what)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        if (pos_ >= size_) {
+            throw WireError(std::string("truncated mid-varint in ") +
+                            what);
+        }
+        const unsigned char b = p_[pos_++];
+        if (shift >= 63) {
+            // Byte 10 carries at most bit 63; more payload — or an
+            // 11th byte — cannot fit in 64 bits (and shifting by
+            // >= 64 would be UB, so reject before it can happen).
+            if ((b & 0x7f) > 1 || (b & 0x80)) {
+                throw WireError(std::string(what) +
+                                ": varint overflows 64 bits");
+            }
+        }
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+std::int64_t
+WireReader::svarint(const char *what)
+{
+    return unzigzag(varint(what));
+}
+
+double
+WireReader::f64(const char *what)
+{
+    if (remaining() < 8)
+        throw WireError(std::string("truncated while reading ") + what);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+        bits |= static_cast<std::uint64_t>(p_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+WireReader::str(const char *what)
+{
+    const std::uint64_t len = varint(what);
+    if (len > remaining()) {
+        throw WireError(std::string(what) + ": string length " +
+                        std::to_string(len) + " exceeds the " +
+                        std::to_string(remaining()) +
+                        " bytes remaining");
+    }
+    std::string s(reinterpret_cast<const char *>(p_ + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+}
+
+void
+WireReader::raw(void *dst, std::size_t size, const char *what)
+{
+    if (remaining() < size)
+        throw WireError(std::string("truncated while reading ") + what);
+    std::memcpy(dst, p_ + pos_, size);
+    pos_ += size;
+}
+
+void
+WireReader::expectEnd(const char *what) const
+{
+    if (pos_ != size_) {
+        throw WireError(std::to_string(size_ - pos_) +
+                        " trailing bytes after " + what);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Struct encodings
+// ---------------------------------------------------------------------
+
+void
+encodeWorkloadSpec(WireWriter &w, const WorkloadSpec &spec)
+{
+    w.str(spec.preset);
+    w.str(spec.tracePath);
+    w.varint(spec.uniformBlocks);
+    w.f64(spec.storeFraction);
+    w.varint(spec.prodConsBlocks);
+    w.varint(spec.lockBlocks);
+    w.svarint(spec.sectionOps);
+    putStructEnd(w);
+}
+
+WorkloadSpec
+decodeWorkloadSpec(WireReader &r)
+{
+    WorkloadSpec spec;
+    spec.preset = r.str("workload preset");
+    spec.tracePath = r.str("workload trace path");
+    spec.uniformBlocks = r.varint("workload uniformBlocks");
+    spec.storeFraction = r.f64("workload storeFraction");
+    spec.prodConsBlocks = r.varint("workload prodConsBlocks");
+    spec.lockBlocks = r.varint("workload lockBlocks");
+    spec.sectionOps = static_cast<int>(r.svarint("workload sectionOps"));
+    checkStructEnd(r, "workload spec");
+    return spec;
+}
+
+namespace {
+
+void
+encodeCacheParams(WireWriter &w, const CacheParams &c)
+{
+    w.varint(c.sizeBytes);
+    w.varint(c.assoc);
+    w.varint(c.blockBytes);
+    w.varint(c.latency);
+}
+
+CacheParams
+decodeCacheParams(WireReader &r, const char *what)
+{
+    CacheParams c;
+    c.sizeBytes = r.varint(what);
+    c.assoc = static_cast<std::uint32_t>(r.varint(what));
+    c.blockBytes = static_cast<std::uint32_t>(r.varint(what));
+    c.latency = r.varint(what);
+    return c;
+}
+
+} // namespace
+
+void
+encodeSystemConfig(WireWriter &w, const SystemConfig &cfg)
+{
+    if (cfg.workloadFactory) {
+        throw WireError("cannot serialize a SystemConfig with a "
+                        "custom workloadFactory (a std::function "
+                        "does not cross a process boundary)");
+    }
+
+    w.svarint(cfg.numNodes);
+    w.str(cfg.topology);
+    w.u8(static_cast<std::uint8_t>(cfg.protocol));
+
+    const ProtocolParams &p = cfg.proto;
+    w.boolean(p.migratoryOpt);
+    w.svarint(p.tokensPerBlock);
+    w.svarint(p.maxReissues);
+    w.f64(p.reissueLatencyMultiple);
+    w.f64(p.reissueJitter);
+    w.varint(p.initialAvgMissLatency);
+    w.varint(p.maxReissueTimeout);
+    w.boolean(p.reissueEnabled);
+    w.f64(p.chaosDropFraction);
+    w.f64(p.chaosMisdirectFraction);
+    w.boolean(p.perfectDirectory);
+    w.varint(p.predictorEntries);
+    w.f64(p.adaptiveThreshold);
+    w.varint(p.adaptiveWindow);
+
+    const NetworkParams &n = cfg.net;
+    w.varint(n.linkLatency);
+    w.f64(n.bytesPerNs);
+    w.boolean(n.unlimitedBandwidth);
+    w.varint(n.ctrlBytes);
+    w.varint(n.dataBytes);
+    w.varint(n.localDelay);
+
+    const SequencerParams &s = cfg.seq;
+    w.svarint(s.maxOutstanding);
+    w.varint(s.thinkMean);
+    encodeCacheParams(w, s.l1);
+    w.boolean(s.l1Enabled);
+
+    encodeCacheParams(w, cfg.l2);
+    w.varint(cfg.dram.latency);
+    w.varint(cfg.dram.minGap);
+    w.varint(cfg.ctrlLatency);
+    w.varint(cfg.blockBytes);
+
+    encodeWorkloadSpec(w, cfg.workload);
+    w.str(cfg.recordTrace);
+    w.varint(cfg.opsPerProcessor);
+    w.varint(cfg.warmupOpsPerProcessor);
+    w.varint(cfg.seed);
+    w.boolean(cfg.attachAuditor);
+    w.varint(cfg.maxTicks);
+    putStructEnd(w);
+}
+
+SystemConfig
+decodeSystemConfig(WireReader &r)
+{
+    SystemConfig cfg;
+    cfg.numNodes = static_cast<int>(r.svarint("numNodes"));
+    cfg.topology = r.str("topology");
+    const std::uint8_t proto_byte = r.u8("protocol");
+    if (proto_byte > static_cast<std::uint8_t>(ProtocolKind::tokenNull)) {
+        throw WireError("protocol byte " + std::to_string(proto_byte) +
+                        " out of range");
+    }
+    cfg.protocol = static_cast<ProtocolKind>(proto_byte);
+
+    ProtocolParams &p = cfg.proto;
+    p.migratoryOpt = r.boolean("migratoryOpt");
+    p.tokensPerBlock = static_cast<int>(r.svarint("tokensPerBlock"));
+    p.maxReissues = static_cast<int>(r.svarint("maxReissues"));
+    p.reissueLatencyMultiple = r.f64("reissueLatencyMultiple");
+    p.reissueJitter = r.f64("reissueJitter");
+    p.initialAvgMissLatency = r.varint("initialAvgMissLatency");
+    p.maxReissueTimeout = r.varint("maxReissueTimeout");
+    p.reissueEnabled = r.boolean("reissueEnabled");
+    p.chaosDropFraction = r.f64("chaosDropFraction");
+    p.chaosMisdirectFraction = r.f64("chaosMisdirectFraction");
+    p.perfectDirectory = r.boolean("perfectDirectory");
+    p.predictorEntries =
+        static_cast<std::uint32_t>(r.varint("predictorEntries"));
+    p.adaptiveThreshold = r.f64("adaptiveThreshold");
+    p.adaptiveWindow = r.varint("adaptiveWindow");
+
+    NetworkParams &n = cfg.net;
+    n.linkLatency = r.varint("linkLatency");
+    n.bytesPerNs = r.f64("bytesPerNs");
+    n.unlimitedBandwidth = r.boolean("unlimitedBandwidth");
+    n.ctrlBytes = static_cast<std::uint32_t>(r.varint("ctrlBytes"));
+    n.dataBytes = static_cast<std::uint32_t>(r.varint("dataBytes"));
+    n.localDelay = r.varint("localDelay");
+
+    SequencerParams &s = cfg.seq;
+    s.maxOutstanding = static_cast<int>(r.svarint("maxOutstanding"));
+    s.thinkMean = r.varint("thinkMean");
+    s.l1 = decodeCacheParams(r, "l1 geometry");
+    s.l1Enabled = r.boolean("l1Enabled");
+
+    cfg.l2 = decodeCacheParams(r, "l2 geometry");
+    cfg.dram.latency = r.varint("dram latency");
+    cfg.dram.minGap = r.varint("dram minGap");
+    cfg.ctrlLatency = r.varint("ctrlLatency");
+    cfg.blockBytes = static_cast<std::uint32_t>(r.varint("blockBytes"));
+
+    cfg.workload = decodeWorkloadSpec(r);
+    cfg.recordTrace = r.str("recordTrace");
+    cfg.opsPerProcessor = r.varint("opsPerProcessor");
+    cfg.warmupOpsPerProcessor = r.varint("warmupOpsPerProcessor");
+    cfg.seed = r.varint("seed");
+    cfg.attachAuditor = r.boolean("attachAuditor");
+    cfg.maxTicks = r.varint("maxTicks");
+    checkStructEnd(r, "system config");
+    return cfg;
+}
+
+void
+encodeExperimentSpec(WireWriter &w, const ExperimentSpec &spec)
+{
+    encodeSystemConfig(w, spec.cfg);
+    w.svarint(spec.seeds);
+    w.str(spec.label);
+    putStructEnd(w);
+}
+
+ExperimentSpec
+decodeExperimentSpec(WireReader &r)
+{
+    ExperimentSpec spec;
+    spec.cfg = decodeSystemConfig(r);
+    spec.seeds = static_cast<int>(r.svarint("spec seeds"));
+    spec.label = r.str("spec label");
+    checkStructEnd(r, "experiment spec");
+    return spec;
+}
+
+void
+encodeResults(WireWriter &w, const System::Results &res)
+{
+    w.varint(res.runtimeTicks);
+    w.varint(res.ops);
+    w.varint(res.transactions);
+    w.varint(res.l1Hits);
+    w.varint(res.l2Accesses);
+    w.varint(res.l2Hits);
+    w.varint(res.misses);
+    w.varint(res.cacheToCache);
+    w.f64(res.avgMissLatencyTicks);
+    w.varint(res.missesNotReissued);
+    w.varint(res.missesReissuedOnce);
+    w.varint(res.missesReissuedMore);
+    w.varint(res.missesPersistent);
+    w.varint(res.eventsScheduled);
+    w.varint(res.eventsDispatched);
+    w.varint(res.timersCancelled);
+
+    // Traffic: counts first so a receiver built with different
+    // message taxonomies fails loudly instead of shifting fields.
+    w.varint(numMsgClasses);
+    for (const auto &c : res.traffic.byClass) {
+        w.varint(c.messages);
+        w.varint(c.byteLinks);
+    }
+    w.varint(numMsgTypes);
+    for (std::uint64_t m : res.traffic.messagesByType)
+        w.varint(m);
+    w.varint(res.traffic.deliveries);
+    const RunningStat::Snapshot lat = res.traffic.latency.snapshot();
+    w.varint(lat.count);
+    w.f64(lat.mean);
+    w.f64(lat.m2);
+    w.f64(lat.min);
+    w.f64(lat.max);
+    putStructEnd(w);
+}
+
+System::Results
+decodeResults(WireReader &r)
+{
+    System::Results res;
+    res.runtimeTicks = r.varint("runtimeTicks");
+    res.ops = r.varint("ops");
+    res.transactions = r.varint("transactions");
+    res.l1Hits = r.varint("l1Hits");
+    res.l2Accesses = r.varint("l2Accesses");
+    res.l2Hits = r.varint("l2Hits");
+    res.misses = r.varint("misses");
+    res.cacheToCache = r.varint("cacheToCache");
+    res.avgMissLatencyTicks = r.f64("avgMissLatencyTicks");
+    res.missesNotReissued = r.varint("missesNotReissued");
+    res.missesReissuedOnce = r.varint("missesReissuedOnce");
+    res.missesReissuedMore = r.varint("missesReissuedMore");
+    res.missesPersistent = r.varint("missesPersistent");
+    res.eventsScheduled = r.varint("eventsScheduled");
+    res.eventsDispatched = r.varint("eventsDispatched");
+    res.timersCancelled = r.varint("timersCancelled");
+
+    if (r.varint("message class count") != numMsgClasses)
+        throw WireError("message class count mismatch");
+    for (auto &c : res.traffic.byClass) {
+        c.messages = r.varint("class messages");
+        c.byteLinks = r.varint("class byteLinks");
+    }
+    if (r.varint("message type count") != numMsgTypes)
+        throw WireError("message type count mismatch");
+    for (auto &m : res.traffic.messagesByType)
+        m = r.varint("messages by type");
+    res.traffic.deliveries = r.varint("deliveries");
+    RunningStat::Snapshot lat;
+    lat.count = r.varint("latency count");
+    lat.mean = r.f64("latency mean");
+    lat.m2 = r.f64("latency m2");
+    lat.min = r.f64("latency min");
+    lat.max = r.f64("latency max");
+    res.traffic.latency = RunningStat::fromSnapshot(lat);
+    checkStructEnd(r, "results");
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------
+
+void
+appendFrame(std::string &out, FrameType type,
+            const std::string &payload)
+{
+    if (payload.size() > maxFramePayload)
+        throw WireError("frame payload too large to send");
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(type));
+    w.varint(payload.size());
+    out += w.buffer();
+    out += payload;
+}
+
+bool
+tryExtractFrame(const std::string &buf, std::size_t &pos, Frame &out)
+{
+    const std::size_t avail = buf.size() - pos;
+    if (avail < 1)
+        return false;
+    const auto type_byte =
+        static_cast<std::uint8_t>(static_cast<unsigned char>(buf[pos]));
+    if (type_byte < static_cast<std::uint8_t>(FrameType::hello) ||
+        type_byte > static_cast<std::uint8_t>(FrameType::error)) {
+        throw WireError("unknown frame type " +
+                        std::to_string(type_byte));
+    }
+
+    // Parse the length varint by hand: running out of buffer here
+    // means "incomplete frame, wait for more bytes" — only a varint
+    // that can never terminate validly is an error.
+    std::uint64_t len = 0;
+    int shift = 0;
+    std::size_t at = pos + 1;
+    for (;;) {
+        if (at >= buf.size())
+            return false;
+        const auto b = static_cast<unsigned char>(buf[at++]);
+        if (shift >= 63 && ((b & 0x7f) > 1 || (b & 0x80)))
+            throw WireError("frame length varint overflows 64 bits");
+        len |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+    }
+    if (len > maxFramePayload) {
+        throw WireError("frame payload length " + std::to_string(len) +
+                        " exceeds the cap");
+    }
+    if (buf.size() - at < len)
+        return false;
+    out.type = static_cast<FrameType>(type_byte);
+    out.payload.assign(buf, at, static_cast<std::size_t>(len));
+    pos = at + static_cast<std::size_t>(len);
+    return true;
+}
+
+std::string
+encodeHelloPayload()
+{
+    WireWriter w;
+    w.raw(wireMagic, sizeof(wireMagic));
+    w.varint(wireVersion);
+    return w.take();
+}
+
+void
+checkHelloPayload(const std::string &payload)
+{
+    WireReader r(payload);
+    char magic[sizeof(wireMagic)];
+    r.raw(magic, sizeof(magic), "hello magic");
+    if (std::memcmp(magic, wireMagic, sizeof(wireMagic)) != 0)
+        throw WireError("bad magic (not a tokensim sweep worker)");
+    const std::uint64_t ver = r.varint("hello version");
+    if (ver != wireVersion) {
+        throw WireError("version mismatch: worker speaks " +
+                        std::to_string(ver) + ", parent speaks " +
+                        std::to_string(wireVersion));
+    }
+    r.expectEnd("hello");
+}
+
+std::string
+encodeJobPayload(std::uint64_t job_id, const SystemConfig &cfg,
+                 std::uint64_t seed)
+{
+    WireWriter w;
+    w.varint(job_id);
+    encodeSystemConfig(w, cfg);
+    w.varint(seed);
+    return w.take();
+}
+
+JobFrame
+decodeJobPayload(const std::string &payload)
+{
+    WireReader r(payload);
+    JobFrame job;
+    job.jobId = r.varint("job id");
+    job.cfg = decodeSystemConfig(r);
+    job.seed = r.varint("job seed");
+    r.expectEnd("job frame");
+    return job;
+}
+
+std::string
+encodeResultPayload(std::uint64_t job_id, const System::Results &res)
+{
+    WireWriter w;
+    w.varint(job_id);
+    encodeResults(w, res);
+    return w.take();
+}
+
+ResultFrame
+decodeResultPayload(const std::string &payload)
+{
+    WireReader r(payload);
+    ResultFrame rf;
+    rf.jobId = r.varint("result job id");
+    rf.results = decodeResults(r);
+    r.expectEnd("result frame");
+    return rf;
+}
+
+std::string
+encodeErrorPayload(std::uint64_t job_id, const std::string &message)
+{
+    WireWriter w;
+    w.varint(job_id);
+    w.str(message);
+    return w.take();
+}
+
+ErrorFrame
+decodeErrorPayload(const std::string &payload)
+{
+    WireReader r(payload);
+    ErrorFrame ef;
+    ef.jobId = r.varint("error job id");
+    ef.message = r.str("error message");
+    r.expectEnd("error frame");
+    return ef;
+}
+
+} // namespace tokensim

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Sweep wire format: a compact versioned binary encoding for the
+ * objects the process-sharded sweep runner ships between the parent
+ * and its worker subprocesses — ExperimentSpec / SystemConfig /
+ * WorkloadSpec going down, raw System::Results coming back — plus the
+ * length-prefixed frame layer the pipe protocol is built from.
+ *
+ * Same discipline as workload/trace.hh: little-endian throughout,
+ * ULEB128 varints for counters, zigzag varints for signed ints,
+ * doubles as raw IEEE-754 bit patterns (results must merge
+ * bit-identically to an in-process run, so no text round-trip), and a
+ * bounds-checked reader where every malformed input class — short
+ * buffer, oversized varint, out-of-range enum, non-0/1 bool, trailing
+ * garbage — throws a typed WireError naming the field. The parser
+ * never reads out of bounds.
+ *
+ * ## Frame layer
+ *
+ * A stream is a sequence of frames:
+ *
+ *   u8      frame type (FrameType; anything else is an error)
+ *   varint  payload length (capped at maxFramePayload)
+ *   ...     payload bytes
+ *
+ * The conversation (harness/dist_runner.cc): the worker opens with a
+ * `hello` frame (8-byte magic "TOKSWEEP" + varint version) so the
+ * parent can reject a mismatched binary before shipping work; the
+ * parent sends `job` frames (varint job id, SystemConfig, varint
+ * seed); the worker answers each with a `result` frame (varint job
+ * id, System::Results) or an `error` frame (varint job id, message
+ * string) and exits cleanly at EOF on its input.
+ *
+ * Versioning: bump wireVersion whenever any encoded struct gains,
+ * loses, or reorders a field. Struct payloads end with an
+ * end-of-struct sentinel byte so a parent/worker skew inside one
+ * version (a stale binary) is caught as a typed error instead of a
+ * silent misparse.
+ */
+
+#ifndef TOKENSIM_HARNESS_WIRE_HH
+#define TOKENSIM_HARNESS_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace tokensim {
+
+/** Any structural problem with a wire buffer or frame. */
+class WireError : public std::runtime_error
+{
+  public:
+    explicit WireError(const std::string &what)
+        : std::runtime_error("wire: " + what)
+    {}
+};
+
+/** Bumped on any change to an encoded layout. */
+constexpr std::uint32_t wireVersion = 1;
+
+/** Stream magic carried by the hello frame. */
+constexpr char wireMagic[8] = {'T', 'O', 'K', 'S', 'W', 'E', 'E', 'P'};
+
+/** Hard cap on one frame's payload (a corrupt length must not OOM). */
+constexpr std::uint64_t maxFramePayload = 1ull << 30;
+
+/** Appends primitives to a growing buffer (the inverse of WireReader). */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+    void varint(std::uint64_t v);
+    /** Zigzag-coded signed varint. */
+    void svarint(std::int64_t v);
+    /** Raw IEEE-754 bit pattern, 8 bytes little-endian. */
+    void f64(double v);
+    /** varint length + bytes. */
+    void str(const std::string &s);
+    void raw(const void *data, std::size_t size);
+
+    const std::string &buffer() const { return out_; }
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/**
+ * Bounds-checked cursor over a serialized buffer. Every read names
+ * what it was reading so truncation errors localize the field.
+ */
+class WireReader
+{
+  public:
+    WireReader(const void *data, std::size_t size)
+        : p_(static_cast<const unsigned char *>(data)), size_(size)
+    {}
+    explicit WireReader(const std::string &buf)
+        : WireReader(buf.data(), buf.size())
+    {}
+
+    std::uint8_t u8(const char *what);
+    /** Strict: only 0 and 1 are valid encodings. */
+    bool boolean(const char *what);
+    std::uint64_t varint(const char *what);
+    std::int64_t svarint(const char *what);
+    double f64(const char *what);
+    std::string str(const char *what);
+    void raw(void *dst, std::size_t size, const char *what);
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+    /** @throws WireError if any bytes remain unconsumed. */
+    void expectEnd(const char *what) const;
+
+  private:
+    const unsigned char *p_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Struct encodings. Each encode/decode pair must consume exactly what
+// the other produced; decode functions validate enums and ranges.
+// ---------------------------------------------------------------------
+
+void encodeWorkloadSpec(WireWriter &w, const WorkloadSpec &spec);
+WorkloadSpec decodeWorkloadSpec(WireReader &r);
+
+/**
+ * @throws WireError if @p cfg carries a custom workloadFactory — a
+ * std::function cannot cross a process boundary; DistRunner rejects
+ * such specs up front with the same reasoning.
+ */
+void encodeSystemConfig(WireWriter &w, const SystemConfig &cfg);
+SystemConfig decodeSystemConfig(WireReader &r);
+
+void encodeExperimentSpec(WireWriter &w, const ExperimentSpec &spec);
+ExperimentSpec decodeExperimentSpec(WireReader &r);
+
+/** Lossless: every counter and double round-trips bit-exactly. */
+void encodeResults(WireWriter &w, const System::Results &res);
+System::Results decodeResults(WireReader &r);
+
+// ---------------------------------------------------------------------
+// Frame layer.
+// ---------------------------------------------------------------------
+
+enum class FrameType : std::uint8_t
+{
+    hello = 1,   ///< worker -> parent: magic + version handshake
+    job = 2,     ///< parent -> worker: (job id, SystemConfig, seed)
+    result = 3,  ///< worker -> parent: (job id, System::Results)
+    error = 4,   ///< worker -> parent: (job id, what()) — shard threw
+};
+
+/** One parsed frame (payload still encoded). */
+struct Frame
+{
+    FrameType type = FrameType::hello;
+    std::string payload;
+};
+
+/** Append a complete frame (header + payload) to @p out. */
+void appendFrame(std::string &out, FrameType type,
+                 const std::string &payload);
+
+/**
+ * Incremental frame parser for a streaming buffer. If @p buf starting
+ * at @p pos holds one complete frame, fills @p out, advances @p pos
+ * past it, and returns true; if the frame is merely incomplete (more
+ * bytes pending on the pipe) returns false without consuming
+ * anything. Structural corruption — unknown frame type, a length
+ * varint that overflows or exceeds maxFramePayload — throws
+ * WireError: the sender is broken, not slow.
+ */
+bool tryExtractFrame(const std::string &buf, std::size_t &pos,
+                     Frame &out);
+
+/** The hello payload: magic + wireVersion. */
+std::string encodeHelloPayload();
+/** @throws WireError on bad magic or version mismatch. */
+void checkHelloPayload(const std::string &payload);
+
+std::string encodeJobPayload(std::uint64_t job_id,
+                             const SystemConfig &cfg,
+                             std::uint64_t seed);
+
+struct JobFrame
+{
+    std::uint64_t jobId = 0;
+    SystemConfig cfg;
+    std::uint64_t seed = 0;
+};
+JobFrame decodeJobPayload(const std::string &payload);
+
+std::string encodeResultPayload(std::uint64_t job_id,
+                                const System::Results &res);
+
+struct ResultFrame
+{
+    std::uint64_t jobId = 0;
+    System::Results results;
+};
+ResultFrame decodeResultPayload(const std::string &payload);
+
+std::string encodeErrorPayload(std::uint64_t job_id,
+                               const std::string &message);
+
+struct ErrorFrame
+{
+    std::uint64_t jobId = 0;
+    std::string message;
+};
+ErrorFrame decodeErrorPayload(const std::string &payload);
+
+} // namespace tokensim
+
+#endif // TOKENSIM_HARNESS_WIRE_HH

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,40 @@ class RunningStat
     }
 
     double stddev() const { return std::sqrt(variance()); }
+
+    /**
+     * The complete internal state, exposed so a RunningStat can cross
+     * a process boundary losslessly (harness/wire.cc ships
+     * System::Results between DistRunner worker processes). An empty
+     * stat's min/max are the +/-infinity sentinels; they round-trip
+     * as IEEE-754 bit patterns like any other double.
+     */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = std::numeric_limits<double>::infinity();
+        double max = -std::numeric_limits<double>::infinity();
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{n_, mean_, m2_, min_, max_};
+    }
+
+    static RunningStat
+    fromSnapshot(const Snapshot &s)
+    {
+        RunningStat r;
+        r.n_ = s.count;
+        r.mean_ = s.mean;
+        r.m2_ = s.m2;
+        r.min_ = s.min;
+        r.max_ = s.max;
+        return r;
+    }
 
   private:
     std::uint64_t n_ = 0;

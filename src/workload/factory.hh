@@ -69,6 +69,32 @@ struct WorkloadSpec
     {
         return isTrace() ? "trace:" + tracePath : preset;
     }
+
+    /**
+     * Whole-value equality over every field. Serialization hook: the
+     * sweep wire format (harness/wire.cc) ships specs between worker
+     * processes field by field, and its round-trip tests compare
+     * through this operator — a field added here must be added to
+     * encodeWorkloadSpec/decodeWorkloadSpec (and wireVersion bumped)
+     * or the wire tests' exhaustive-field round trip will catch the
+     * omission.
+     */
+    friend bool
+    operator==(const WorkloadSpec &a, const WorkloadSpec &b)
+    {
+        return a.preset == b.preset && a.tracePath == b.tracePath &&
+            a.uniformBlocks == b.uniformBlocks &&
+            a.storeFraction == b.storeFraction &&
+            a.prodConsBlocks == b.prodConsBlocks &&
+            a.lockBlocks == b.lockBlocks &&
+            a.sectionOps == b.sectionOps;
+    }
+
+    friend bool
+    operator!=(const WorkloadSpec &a, const WorkloadSpec &b)
+    {
+        return !(a == b);
+    }
 };
 
 /**

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Distributed-determinism suite for the process-sharded sweep runner:
+ * resultDigest() equality across the serial loop, ParallelRunner
+ * (threads), and DistRunner (worker subprocesses) at every
+ * parallelism level, on mixed preset+trace sweeps and on the
+ * committed golden traces — plus crash-recovery gates proving that a
+ * SIGKILLed worker or a truncated reply frame reassigns the shard
+ * with no effect on final digests.
+ *
+ * This is the process-level extension of test_parallel_runner.cc's
+ * contract (and of the paper's thesis): which process runs a shard,
+ * in what order, and through how many failures is performance policy;
+ * the results are correctness, and must not move.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/dist_runner.hh"
+#include "harness/parallel_runner.hh"
+#include "workload/trace.hh"
+
+namespace tokensim {
+namespace {
+
+/** A small but diverse spec matrix: protocol x topology x tokens. */
+std::vector<ExperimentSpec>
+smallMatrix()
+{
+    std::vector<ExperimentSpec> specs;
+    struct Pt
+    {
+        ProtocolKind proto;
+        const char *topo;
+        int tokens;
+    };
+    const Pt pts[] = {
+        {ProtocolKind::tokenB, "torus", 0},
+        {ProtocolKind::tokenB, "tree", 19},
+        {ProtocolKind::tokenD, "torus", 0},
+        {ProtocolKind::snooping, "tree", 0},
+        {ProtocolKind::directory, "torus", 0},
+        {ProtocolKind::hammer, "torus", 0},
+    };
+    for (const Pt &p : pts) {
+        SystemConfig cfg;
+        cfg.numNodes = 8;
+        cfg.topology = p.topo;
+        cfg.protocol = p.proto;
+        cfg.workload = "uniform";
+        cfg.workload.uniformBlocks = 128;
+        cfg.proto.tokensPerBlock = p.tokens;
+        cfg.opsPerProcessor = 300;
+        cfg.seed = 23;
+        specs.push_back(ExperimentSpec{cfg, 2, protocolName(p.proto)});
+    }
+    return specs;
+}
+
+std::vector<std::string>
+digestsOf(const std::vector<ExperimentResult> &results)
+{
+    std::vector<std::string> out;
+    out.reserve(results.size());
+    for (const ExperimentResult &r : results)
+        out.push_back(resultDigest(r));
+    return out;
+}
+
+void
+expectSameDigests(const std::vector<ExperimentResult> &a,
+                  const std::vector<ExperimentResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].label);
+        EXPECT_EQ(resultDigest(a[i]), resultDigest(b[i]));
+        EXPECT_TRUE(identicalResults(a[i], b[i]));
+    }
+}
+
+DistRunner
+makeRunner(int workers)
+{
+    DistRunnerOptions opts;
+    opts.workers = workers;
+    return DistRunner(std::move(opts));
+}
+
+TEST(DistRunner, WorkerCountResolvesToAtLeastOne)
+{
+    EXPECT_GE(DistRunner().workers(), 1);
+    EXPECT_EQ(makeRunner(3).workers(), 3);
+}
+
+TEST(DistRunner, EmptySpecListIsFine)
+{
+    EXPECT_TRUE(
+        makeRunner(2).run(std::vector<ExperimentSpec>{}).empty());
+}
+
+TEST(DistRunner, ZeroSeedsMatchesSerialZeroSeeds)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 4;
+    cfg.opsPerProcessor = 50;
+    const ExperimentSpec spec{cfg, 0, "empty"};
+    const ExperimentResult serial = runExperiment(cfg, 0, "empty");
+    const ExperimentResult dist = makeRunner(2).run(spec);
+    EXPECT_EQ(dist.ops, 0u);
+    EXPECT_EQ(resultDigest(dist), resultDigest(serial));
+}
+
+TEST(DistDeterminism, MatchesSerialAndParallelAtEveryWidth)
+{
+    // The differential gate: serial oracle vs ParallelRunner at
+    // 1/2/4 threads vs DistRunner at 1/2/4 worker processes — every
+    // combination must produce the same digest list, on a sweep that
+    // mixes synthetic presets and a recorded-trace replay.
+    std::filesystem::create_directories("test_traces");
+    const std::string path = "test_traces/dist_mixed.trace";
+
+    SystemConfig rec;
+    rec.numNodes = 8;
+    rec.protocol = ProtocolKind::tokenB;
+    rec.workload = "producer-consumer";
+    rec.opsPerProcessor = 300;
+    rec.seed = 11;
+    rec.recordTrace = path;
+    runOnce(rec, rec.seed);
+
+    std::vector<ExperimentSpec> specs = smallMatrix();
+    SystemConfig replay = rec;
+    replay.recordTrace.clear();
+    replay.workload = WorkloadSpec::trace(path);
+    specs.push_back(ExperimentSpec{replay, 2, "replay"});
+
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+
+    for (int threads : {1, 2, 4}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectSameDigests(
+            ParallelRunner(ParallelRunnerOptions{threads}).run(specs),
+            serial);
+    }
+    for (int workers : {1, 2, 4}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        expectSameDigests(makeRunner(workers).run(specs), serial);
+    }
+}
+
+TEST(DistDeterminism, StreamingLinesArriveAndFinalOrderIsSpecOrder)
+{
+    // Streaming partial aggregates must not perturb the final merge:
+    // one progress line per shard, one completion line per spec, and
+    // the completion lines carry exactly the digests the run returns
+    // (the partial aggregate IS the final aggregate).
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::size_t total_shards = 0;
+    for (const ExperimentSpec &s : specs)
+        total_shards += static_cast<std::size_t>(s.seeds);
+
+    std::vector<std::string> lines;
+    DistRunnerOptions opts;
+    opts.workers = 3;
+    opts.progress = [&](const std::string &line) {
+        lines.push_back(line);
+    };
+    const std::vector<ExperimentResult> results =
+        DistRunner(std::move(opts)).run(specs);
+
+    std::size_t shard_lines = 0;
+    std::size_t spec_lines = 0;
+    for (const std::string &l : lines) {
+        if (l.rfind("shard ", 0) == 0)
+            ++shard_lines;
+        if (l.rfind("spec ", 0) == 0) {
+            ++spec_lines;
+            // "spec <i> "<label>" complete: <digest>"
+            const std::size_t colon = l.find(": ");
+            ASSERT_NE(colon, std::string::npos);
+            const std::string digest = l.substr(colon + 2);
+            bool matched = false;
+            for (const ExperimentResult &r : results)
+                matched = matched || resultDigest(r) == digest;
+            EXPECT_TRUE(matched)
+                << "streamed partial aggregate differs from the "
+                   "final merge: "
+                << l;
+        }
+    }
+    EXPECT_EQ(shard_lines, total_shards);
+    EXPECT_EQ(spec_lines, specs.size());
+    ASSERT_EQ(results.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(results[i].label, specs[i].label);
+}
+
+TEST(DistCrashRecovery, KilledWorkerShardIsRetriedWithSameDigests)
+{
+    // Worker 0 SIGKILLs itself after computing its second shard,
+    // before replying — the parent must observe EOF with a job
+    // outstanding, reassign the shard to a healthy worker, and merge
+    // to exactly the serial oracle's digests.
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+
+    DistRunnerOptions opts;
+    opts.workers = 3;
+    opts.workerFault.crashAfterShards = 1;
+    expectSameDigests(DistRunner(std::move(opts)).run(specs), serial);
+}
+
+TEST(DistCrashRecovery, TruncatedResultFrameIsRetriedWithSameDigests)
+{
+    // Worker 0 replies to its first shard with half a result frame
+    // and exits: the parent sees a partial frame then EOF — the
+    // malformed-reply path — and must reassign, again bit-identical.
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+
+    DistRunnerOptions opts;
+    opts.workers = 2;
+    opts.workerFault.truncateAfterShards = 0;
+    expectSameDigests(DistRunner(std::move(opts)).run(specs), serial);
+}
+
+TEST(DistRunner, ShardExceptionPropagatesFromWorker)
+{
+    // An impossible topology throws inside the worker subprocess; the
+    // worker reports it as an error frame (a deterministic failure,
+    // not a worker death) and the parent rethrows with the message.
+    SystemConfig cfg;
+    cfg.topology = "moebius";
+    cfg.opsPerProcessor = 10;
+    std::vector<ExperimentSpec> specs{ExperimentSpec{cfg, 2, "bad"}};
+    try {
+        makeRunner(2).run(specs);
+        FAIL() << "impossible topology ran successfully";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("bad"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(DistRunner, CustomWorkloadFactoryIsRejectedUpFront)
+{
+    SystemConfig cfg;
+    cfg.workloadFactory = [](NodeId, int,
+                             std::uint64_t) -> std::unique_ptr<Workload> {
+        return nullptr;
+    };
+    std::vector<ExperimentSpec> specs{ExperimentSpec{cfg, 1, "f"}};
+    EXPECT_THROW(makeRunner(2).run(specs), std::invalid_argument);
+}
+
+TEST(DistRunner, NonWorkerBinaryFailsHandshakeWithClearError)
+{
+    // Exec'ing something that does not speak the protocol (cat
+    // echoes our own job frame back before any hello) must surface
+    // as a handshake failure naming the problem — not burn the
+    // retry budget and die as "workers keep dying".
+    SystemConfig cfg;
+    cfg.numNodes = 4;
+    cfg.opsPerProcessor = 10;
+    std::vector<ExperimentSpec> specs{ExperimentSpec{cfg, 1, "h"}};
+    DistRunnerOptions opts;
+    opts.workers = 2;
+    opts.workerArgv = {"/bin/cat"};
+    try {
+        DistRunner(std::move(opts)).run(specs);
+        FAIL() << "/bin/cat passed the worker handshake";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("handshake"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(DistRunner, RecordTraceIsRejectedUpFront)
+{
+    SystemConfig cfg;
+    cfg.recordTrace = "test_traces/should_not_race.trace";
+    std::vector<ExperimentSpec> specs{ExperimentSpec{cfg, 1, "r"}};
+    EXPECT_THROW(makeRunner(2).run(specs), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Golden-trace replay through the DistRunner
+// ---------------------------------------------------------------------
+
+std::string
+goldenDir()
+{
+    return std::string(TOKENSIM_TESTS_DIR) + "/golden";
+}
+
+/** Mirrors test_golden_traces.cc's reference config. */
+SystemConfig
+goldenConfig(ProtocolKind proto, const std::string &workload)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 8;
+    cfg.protocol = proto;
+    cfg.topology = proto == ProtocolKind::snooping ? "tree" : "torus";
+    cfg.opsPerProcessor = 400;
+    cfg.warmupOpsPerProcessor = 4400;
+    cfg.seed = 20260701;
+    cfg.attachAuditor = isTokenProtocol(proto);
+    cfg.workload = WorkloadSpec::trace(goldenDir() + "/golden_" +
+                                       workload + ".trace");
+    return cfg;
+}
+
+std::map<std::string, std::string>
+loadGoldenDigests()
+{
+    std::map<std::string, std::string> out;
+    std::ifstream in(goldenDir() + "/golden_digests.txt");
+    EXPECT_TRUE(in) << "missing golden digests";
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t space = line.find(' ');
+        if (space == std::string::npos)
+            continue;
+        out[line.substr(0, space)] = line.substr(space + 1);
+    }
+    return out;
+}
+
+TEST(DistGolden, ReplayThroughWorkersReproducesCommittedDigests)
+{
+    // The strongest cross-process oracle available: the committed
+    // golden digests were produced by in-process serial replays, so
+    // matching them from worker subprocesses proves the entire
+    // pipeline — spec encode, worker-side System build, result
+    // encode, streaming merge — adds exactly zero drift.
+    const ProtocolKind protos[] = {
+        ProtocolKind::snooping, ProtocolKind::directory,
+        ProtocolKind::hammer,   ProtocolKind::tokenB,
+        ProtocolKind::tokenD,   ProtocolKind::tokenM,
+        ProtocolKind::tokenA,   ProtocolKind::tokenNull,
+    };
+    const char *const workloads[] = {"oltp", "producer-consumer"};
+
+    std::vector<ExperimentSpec> specs;
+    for (ProtocolKind proto : protos) {
+        for (const char *w : workloads) {
+            specs.push_back(ExperimentSpec{
+                goldenConfig(proto, w), 1,
+                std::string(protocolName(proto)) + "/" + w});
+        }
+    }
+
+    const std::map<std::string, std::string> expected =
+        loadGoldenDigests();
+    ASSERT_EQ(expected.size(), specs.size());
+
+    const std::vector<ExperimentResult> results =
+        makeRunner(4).run(specs);
+    ASSERT_EQ(results.size(), specs.size());
+    for (const ExperimentResult &r : results) {
+        SCOPED_TRACE(r.label);
+        const auto it = expected.find(r.label);
+        ASSERT_NE(it, expected.end());
+        EXPECT_EQ(resultDigest(r), it->second)
+            << "distributed replay drifted from the committed "
+               "golden digest";
+    }
+}
+
+TEST(DistDeterminism, RepeatedDistRunsAreIdentical)
+{
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    const std::vector<std::string> a =
+        digestsOf(makeRunner(3).run(specs));
+    const std::vector<std::string> b =
+        digestsOf(makeRunner(3).run(specs));
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace tokensim

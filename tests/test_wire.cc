@@ -1,0 +1,616 @@
+/**
+ * @file
+ * Wire-format fuzz suite for the sweep runner's serialization layer
+ * (harness/wire.hh), mirroring test_trace.cc's coverage style: every
+ * spec/result field round-trips bit-exactly, truncation at every byte
+ * offset yields a typed WireError (never a crash, never a silent
+ * success), and each malformed-input class — bad magic, bad version,
+ * oversized varints, out-of-range enums, non-0/1 bools, trailing
+ * garbage, layout skew — names its problem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "harness/wire.hh"
+
+namespace tokensim {
+namespace {
+
+/** Bit-exact double comparison (NaN payloads and -0.0 must survive). */
+void
+expectSameBits(double a, double b, const char *what)
+{
+    std::uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    EXPECT_EQ(ab, bb) << what;
+}
+
+/** A SystemConfig with every field moved off its default. */
+SystemConfig
+exhaustiveConfig()
+{
+    SystemConfig cfg;
+    cfg.numNodes = 12;
+    cfg.topology = "tree";
+    cfg.protocol = ProtocolKind::tokenM;
+    cfg.proto.migratoryOpt = false;
+    cfg.proto.tokensPerBlock = 17;
+    cfg.proto.maxReissues = 9;
+    cfg.proto.reissueLatencyMultiple = 3.25;
+    cfg.proto.reissueJitter = 0.125;
+    cfg.proto.initialAvgMissLatency = 1234;
+    cfg.proto.maxReissueTimeout = 987654;
+    cfg.proto.reissueEnabled = false;
+    cfg.proto.chaosDropFraction = 0.0625;
+    cfg.proto.chaosMisdirectFraction = 0.03125;
+    cfg.proto.perfectDirectory = true;
+    cfg.proto.predictorEntries = 4096;
+    cfg.proto.adaptiveThreshold = 0.75;
+    cfg.proto.adaptiveWindow = 5555;
+    cfg.net.linkLatency = 77;
+    cfg.net.bytesPerNs = 6.4;
+    cfg.net.unlimitedBandwidth = true;
+    cfg.net.ctrlBytes = 16;
+    cfg.net.dataBytes = 144;
+    cfg.net.localDelay = 3;
+    cfg.seq.maxOutstanding = 8;
+    cfg.seq.thinkMean = 42;
+    cfg.seq.l1 = CacheParams{64 * 1024, 2, 32, 5};
+    cfg.seq.l1Enabled = false;
+    cfg.l2 = CacheParams{1024 * 1024, 8, 32, 11};
+    cfg.dram.latency = 321;
+    cfg.dram.minGap = 7;
+    cfg.ctrlLatency = 13;
+    cfg.blockBytes = 32;
+    cfg.workload = WorkloadSpec::trace("some/path.trace");
+    cfg.workload.preset = "lock-ping";
+    cfg.workload.uniformBlocks = 99;
+    cfg.workload.storeFraction = 0.4375;
+    cfg.workload.prodConsBlocks = 33;
+    cfg.workload.lockBlocks = 21;
+    cfg.workload.sectionOps = -3;
+    cfg.recordTrace = "out/rec.trace";
+    cfg.opsPerProcessor = 123456789;
+    cfg.warmupOpsPerProcessor = 55;
+    cfg.seed = 0xdeadbeefcafef00dULL;
+    cfg.attachAuditor = true;
+    cfg.maxTicks = std::numeric_limits<std::uint64_t>::max();
+    return cfg;
+}
+
+void
+expectSameConfig(const SystemConfig &a, const SystemConfig &b)
+{
+    EXPECT_EQ(a.numNodes, b.numNodes);
+    EXPECT_EQ(a.topology, b.topology);
+    EXPECT_EQ(a.protocol, b.protocol);
+    EXPECT_EQ(a.proto.migratoryOpt, b.proto.migratoryOpt);
+    EXPECT_EQ(a.proto.tokensPerBlock, b.proto.tokensPerBlock);
+    EXPECT_EQ(a.proto.maxReissues, b.proto.maxReissues);
+    expectSameBits(a.proto.reissueLatencyMultiple,
+                   b.proto.reissueLatencyMultiple, "reissue multiple");
+    expectSameBits(a.proto.reissueJitter, b.proto.reissueJitter,
+                   "reissue jitter");
+    EXPECT_EQ(a.proto.initialAvgMissLatency,
+              b.proto.initialAvgMissLatency);
+    EXPECT_EQ(a.proto.maxReissueTimeout, b.proto.maxReissueTimeout);
+    EXPECT_EQ(a.proto.reissueEnabled, b.proto.reissueEnabled);
+    expectSameBits(a.proto.chaosDropFraction,
+                   b.proto.chaosDropFraction, "chaos drop");
+    expectSameBits(a.proto.chaosMisdirectFraction,
+                   b.proto.chaosMisdirectFraction, "chaos misdirect");
+    EXPECT_EQ(a.proto.perfectDirectory, b.proto.perfectDirectory);
+    EXPECT_EQ(a.proto.predictorEntries, b.proto.predictorEntries);
+    expectSameBits(a.proto.adaptiveThreshold,
+                   b.proto.adaptiveThreshold, "adaptive threshold");
+    EXPECT_EQ(a.proto.adaptiveWindow, b.proto.adaptiveWindow);
+    EXPECT_EQ(a.net.linkLatency, b.net.linkLatency);
+    expectSameBits(a.net.bytesPerNs, b.net.bytesPerNs, "bytesPerNs");
+    EXPECT_EQ(a.net.unlimitedBandwidth, b.net.unlimitedBandwidth);
+    EXPECT_EQ(a.net.ctrlBytes, b.net.ctrlBytes);
+    EXPECT_EQ(a.net.dataBytes, b.net.dataBytes);
+    EXPECT_EQ(a.net.localDelay, b.net.localDelay);
+    EXPECT_EQ(a.seq.maxOutstanding, b.seq.maxOutstanding);
+    EXPECT_EQ(a.seq.thinkMean, b.seq.thinkMean);
+    EXPECT_EQ(a.seq.l1.sizeBytes, b.seq.l1.sizeBytes);
+    EXPECT_EQ(a.seq.l1.assoc, b.seq.l1.assoc);
+    EXPECT_EQ(a.seq.l1.blockBytes, b.seq.l1.blockBytes);
+    EXPECT_EQ(a.seq.l1.latency, b.seq.l1.latency);
+    EXPECT_EQ(a.seq.l1Enabled, b.seq.l1Enabled);
+    EXPECT_EQ(a.l2.sizeBytes, b.l2.sizeBytes);
+    EXPECT_EQ(a.l2.assoc, b.l2.assoc);
+    EXPECT_EQ(a.l2.blockBytes, b.l2.blockBytes);
+    EXPECT_EQ(a.l2.latency, b.l2.latency);
+    EXPECT_EQ(a.dram.latency, b.dram.latency);
+    EXPECT_EQ(a.dram.minGap, b.dram.minGap);
+    EXPECT_EQ(a.ctrlLatency, b.ctrlLatency);
+    EXPECT_EQ(a.blockBytes, b.blockBytes);
+    // WorkloadSpec::operator== covers every workload field (the
+    // factory header documents it as the wire's serialization hook).
+    EXPECT_TRUE(a.workload == b.workload);
+    EXPECT_EQ(a.recordTrace, b.recordTrace);
+    EXPECT_EQ(a.opsPerProcessor, b.opsPerProcessor);
+    EXPECT_EQ(a.warmupOpsPerProcessor, b.warmupOpsPerProcessor);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.attachAuditor, b.attachAuditor);
+    EXPECT_EQ(a.maxTicks, b.maxTicks);
+}
+
+/** System::Results with every field set to a distinctive value. */
+System::Results
+exhaustiveResults()
+{
+    System::Results r;
+    r.runtimeTicks = 111111;
+    r.ops = 22222;
+    r.transactions = 3333;
+    r.l1Hits = 44444;
+    r.l2Accesses = 5555;
+    r.l2Hits = 666;
+    r.misses = 777;
+    r.cacheToCache = 88;
+    r.avgMissLatencyTicks = 123.4375;
+    r.missesNotReissued = 700;
+    r.missesReissuedOnce = 50;
+    r.missesReissuedMore = 20;
+    r.missesPersistent = 7;
+    r.eventsScheduled = 999999;
+    r.eventsDispatched = 888888;
+    r.timersCancelled = 77777;
+    for (std::size_t c = 0; c < numMsgClasses; ++c) {
+        r.traffic.byClass[c].messages = 1000 + c;
+        r.traffic.byClass[c].byteLinks = 2000 + 10 * c;
+    }
+    for (std::size_t t = 0; t < numMsgTypes; ++t)
+        r.traffic.messagesByType[t] = 3000 + t;
+    r.traffic.deliveries = 31337;
+    r.traffic.latency.add(10.5);
+    r.traffic.latency.add(-2.25);
+    r.traffic.latency.add(400.125);
+    return r;
+}
+
+void
+expectSameResults(const System::Results &a, const System::Results &b)
+{
+    EXPECT_EQ(a.runtimeTicks, b.runtimeTicks);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.transactions, b.transactions);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.cacheToCache, b.cacheToCache);
+    expectSameBits(a.avgMissLatencyTicks, b.avgMissLatencyTicks,
+                   "avg miss latency");
+    EXPECT_EQ(a.missesNotReissued, b.missesNotReissued);
+    EXPECT_EQ(a.missesReissuedOnce, b.missesReissuedOnce);
+    EXPECT_EQ(a.missesReissuedMore, b.missesReissuedMore);
+    EXPECT_EQ(a.missesPersistent, b.missesPersistent);
+    EXPECT_EQ(a.eventsScheduled, b.eventsScheduled);
+    EXPECT_EQ(a.eventsDispatched, b.eventsDispatched);
+    EXPECT_EQ(a.timersCancelled, b.timersCancelled);
+    for (std::size_t c = 0; c < numMsgClasses; ++c) {
+        EXPECT_EQ(a.traffic.byClass[c].messages,
+                  b.traffic.byClass[c].messages);
+        EXPECT_EQ(a.traffic.byClass[c].byteLinks,
+                  b.traffic.byClass[c].byteLinks);
+    }
+    for (std::size_t t = 0; t < numMsgTypes; ++t)
+        EXPECT_EQ(a.traffic.messagesByType[t],
+                  b.traffic.messagesByType[t]);
+    EXPECT_EQ(a.traffic.deliveries, b.traffic.deliveries);
+    const RunningStat::Snapshot sa = a.traffic.latency.snapshot();
+    const RunningStat::Snapshot sb = b.traffic.latency.snapshot();
+    EXPECT_EQ(sa.count, sb.count);
+    expectSameBits(sa.mean, sb.mean, "latency mean");
+    expectSameBits(sa.m2, sb.m2, "latency m2");
+    expectSameBits(sa.min, sb.min, "latency min");
+    expectSameBits(sa.max, sb.max, "latency max");
+}
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+TEST(WirePrimitives, RoundTripEveryKind)
+{
+    WireWriter w;
+    w.u8(0);
+    w.u8(255);
+    w.boolean(true);
+    w.boolean(false);
+    w.varint(0);
+    w.varint(127);
+    w.varint(128);
+    w.varint(std::numeric_limits<std::uint64_t>::max());
+    w.svarint(0);
+    w.svarint(-1);
+    w.svarint(std::numeric_limits<std::int64_t>::min());
+    w.svarint(std::numeric_limits<std::int64_t>::max());
+    w.f64(0.0);
+    w.f64(-0.0);
+    w.f64(std::numeric_limits<double>::infinity());
+    w.f64(-std::numeric_limits<double>::infinity());
+    w.f64(std::nan(""));
+    w.f64(1.0 / 3.0);
+    w.str("");
+    w.str("hello, wire");
+    w.str(std::string(3000, 'x'));
+
+    WireReader r(w.buffer());
+    EXPECT_EQ(r.u8("a"), 0);
+    EXPECT_EQ(r.u8("b"), 255);
+    EXPECT_TRUE(r.boolean("c"));
+    EXPECT_FALSE(r.boolean("d"));
+    EXPECT_EQ(r.varint("e"), 0u);
+    EXPECT_EQ(r.varint("f"), 127u);
+    EXPECT_EQ(r.varint("g"), 128u);
+    EXPECT_EQ(r.varint("h"),
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(r.svarint("i"), 0);
+    EXPECT_EQ(r.svarint("j"), -1);
+    EXPECT_EQ(r.svarint("k"),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(r.svarint("l"),
+              std::numeric_limits<std::int64_t>::max());
+    expectSameBits(r.f64("m"), 0.0, "zero");
+    expectSameBits(r.f64("n"), -0.0, "negative zero");
+    expectSameBits(r.f64("o"), std::numeric_limits<double>::infinity(),
+                   "inf");
+    expectSameBits(r.f64("p"),
+                   -std::numeric_limits<double>::infinity(), "-inf");
+    expectSameBits(r.f64("q"), std::nan(""), "nan");
+    expectSameBits(r.f64("r"), 1.0 / 3.0, "third");
+    EXPECT_EQ(r.str("s"), "");
+    EXPECT_EQ(r.str("t"), "hello, wire");
+    EXPECT_EQ(r.str("u"), std::string(3000, 'x'));
+    EXPECT_NO_THROW(r.expectEnd("primitives"));
+}
+
+TEST(WirePrimitives, OversizedVarintsAreTypedErrors)
+{
+    // 11 continuation bytes: can never terminate within 64 bits.
+    const std::string eleven(11, '\x80');
+    WireReader r1(eleven);
+    EXPECT_THROW(r1.varint("v"), WireError);
+
+    // 10 bytes whose last carries payload beyond bit 63.
+    std::string overflow(9, '\x80');
+    overflow.push_back('\x02');
+    WireReader r2(overflow);
+    EXPECT_THROW(r2.varint("v"), WireError);
+
+    // ...while bit 63 exactly (u64 max) is fine.
+    std::string max(9, '\xff');
+    max.push_back('\x01');
+    WireReader r3(max);
+    EXPECT_EQ(r3.varint("v"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(WirePrimitives, TruncatedVarintIsATypedError)
+{
+    const std::string partial("\x80\x80", 2);
+    WireReader r(partial);
+    EXPECT_THROW(r.varint("v"), WireError);
+}
+
+TEST(WirePrimitives, NonBinaryBoolByteIsATypedError)
+{
+    const std::string two("\x02", 1);
+    WireReader r(two);
+    EXPECT_THROW(r.boolean("flag"), WireError);
+}
+
+TEST(WirePrimitives, StringLengthBeyondBufferIsATypedError)
+{
+    WireWriter w;
+    w.varint(1000);   // claims 1000 bytes...
+    w.raw("abc", 3);  // ...provides 3
+    WireReader r(w.buffer());
+    EXPECT_THROW(r.str("s"), WireError);
+}
+
+TEST(WirePrimitives, TrailingBytesAreATypedError)
+{
+    WireWriter w;
+    w.varint(7);
+    w.u8(9);
+    WireReader r(w.buffer());
+    EXPECT_EQ(r.varint("v"), 7u);
+    EXPECT_THROW(r.expectEnd("blob"), WireError);
+}
+
+// ---------------------------------------------------------------------
+// Struct round trips
+// ---------------------------------------------------------------------
+
+TEST(WireStructs, WorkloadSpecRoundTripsEveryField)
+{
+    WorkloadSpec spec = WorkloadSpec::trace("a/b/c.trace");
+    spec.preset = "producer-consumer";
+    spec.uniformBlocks = 5;
+    spec.storeFraction = 0.875;
+    spec.prodConsBlocks = 11;
+    spec.lockBlocks = 13;
+    spec.sectionOps = 42;
+
+    WireWriter w;
+    encodeWorkloadSpec(w, spec);
+    WireReader r(w.buffer());
+    const WorkloadSpec back = decodeWorkloadSpec(r);
+    EXPECT_NO_THROW(r.expectEnd("workload spec"));
+    EXPECT_TRUE(back == spec);
+    EXPECT_FALSE(back != spec);
+}
+
+TEST(WireStructs, SystemConfigRoundTripsEveryField)
+{
+    const SystemConfig cfg = exhaustiveConfig();
+    WireWriter w;
+    encodeSystemConfig(w, cfg);
+    WireReader r(w.buffer());
+    const SystemConfig back = decodeSystemConfig(r);
+    EXPECT_NO_THROW(r.expectEnd("config"));
+    expectSameConfig(cfg, back);
+}
+
+TEST(WireStructs, DefaultSystemConfigRoundTrips)
+{
+    WireWriter w;
+    encodeSystemConfig(w, SystemConfig{});
+    WireReader r(w.buffer());
+    expectSameConfig(SystemConfig{}, decodeSystemConfig(r));
+}
+
+TEST(WireStructs, ExperimentSpecRoundTrips)
+{
+    ExperimentSpec spec;
+    spec.cfg = exhaustiveConfig();
+    spec.seeds = 17;
+    spec.label = "TokenB - torus (inf bw)";
+    WireWriter w;
+    encodeExperimentSpec(w, spec);
+    WireReader r(w.buffer());
+    const ExperimentSpec back = decodeExperimentSpec(r);
+    EXPECT_NO_THROW(r.expectEnd("spec"));
+    expectSameConfig(spec.cfg, back.cfg);
+    EXPECT_EQ(back.seeds, 17);
+    EXPECT_EQ(back.label, spec.label);
+}
+
+TEST(WireStructs, ResultsRoundTripBitExactly)
+{
+    const System::Results res = exhaustiveResults();
+    WireWriter w;
+    encodeResults(w, res);
+    WireReader r(w.buffer());
+    const System::Results back = decodeResults(r);
+    EXPECT_NO_THROW(r.expectEnd("results"));
+    expectSameResults(res, back);
+}
+
+TEST(WireStructs, EmptyResultsRoundTrip)
+{
+    // A default Results has an empty RunningStat whose min/max are
+    // the +/-infinity sentinels — they must survive the wire.
+    WireWriter w;
+    encodeResults(w, System::Results{});
+    WireReader r(w.buffer());
+    expectSameResults(System::Results{}, decodeResults(r));
+}
+
+TEST(WireStructs, CustomWorkloadFactoryIsRejected)
+{
+    SystemConfig cfg;
+    cfg.workloadFactory = [](NodeId, int,
+                             std::uint64_t) -> std::unique_ptr<Workload> {
+        return nullptr;
+    };
+    WireWriter w;
+    EXPECT_THROW(encodeSystemConfig(w, cfg), WireError);
+}
+
+TEST(WireStructs, TruncationAtEveryByteOffsetIsATypedError)
+{
+    // The cornerstone fuzz property (same loop as test_trace.cc):
+    // every proper prefix of a valid encoding must throw WireError —
+    // no crash, no out-of-bounds read, no accidental success.
+    WireWriter w;
+    encodeExperimentSpec(w, ExperimentSpec{exhaustiveConfig(), 3,
+                                           "trunc"});
+    const std::string full = w.buffer();
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        WireReader r(full.data(), cut);
+        EXPECT_THROW(decodeExperimentSpec(r), WireError);
+    }
+}
+
+TEST(WireStructs, ResultsTruncationAtEveryByteOffsetIsATypedError)
+{
+    WireWriter w;
+    encodeResults(w, exhaustiveResults());
+    const std::string full = w.buffer();
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        WireReader r(full.data(), cut);
+        EXPECT_THROW(decodeResults(r), WireError);
+    }
+}
+
+TEST(WireStructs, ProtocolByteOutOfRangeIsATypedError)
+{
+    WireWriter w;
+    encodeSystemConfig(w, SystemConfig{});
+    std::string buf = w.take();
+    // The protocol byte follows numNodes (svarint 16 -> 1 byte) and
+    // topology ("torus": varint len + 5 bytes).
+    const std::size_t proto_at = 1 + 1 + 5;
+    buf[proto_at] = char(200);
+    WireReader r(buf);
+    EXPECT_THROW(decodeSystemConfig(r), WireError);
+}
+
+TEST(WireStructs, MessageClassCountMismatchIsATypedError)
+{
+    WireWriter w;
+    encodeResults(w, System::Results{});
+    std::string buf = w.take();
+    // Find the class-count byte (value numMsgClasses, < 128 so one
+    // byte) and bump it: the decoder must refuse rather than shift
+    // every subsequent field.
+    WireReader probe(buf);
+    System::Results scratch;   // fully decodes; now locate the count:
+    scratch = decodeResults(probe);
+    // Re-encode with a corrupted count by surgically rebuilding: the
+    // count sits right after 16 fixed counters (all varints) and one
+    // f64. Rather than hand-compute the offset, corrupt by search:
+    // the default Results encodes class count numMsgClasses followed
+    // by 2*numMsgClasses zero varints — find that signature.
+    std::string needle;
+    {
+        WireWriter n;
+        n.varint(numMsgClasses);
+        for (std::size_t i = 0; i < 2 * numMsgClasses; ++i)
+            n.varint(0);
+        n.varint(numMsgTypes);
+        needle = n.take();
+    }
+    const std::size_t at = buf.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    buf[at] = static_cast<char>(numMsgClasses + 1);
+    WireReader r(buf);
+    EXPECT_THROW(decodeResults(r), WireError);
+}
+
+TEST(WireStructs, LayoutSkewIsReportedAsVersionMismatch)
+{
+    // Flip the end-of-struct sentinel: the decode must say "layout
+    // mismatch", the canary for a parent/worker version skew.
+    WireWriter w;
+    encodeResults(w, System::Results{});
+    std::string buf = w.take();
+    buf.back() = '\x00';
+    WireReader r(buf);
+    try {
+        decodeResults(r);
+        FAIL() << "skewed layout decoded successfully";
+    } catch (const WireError &e) {
+        EXPECT_NE(std::string(e.what()).find("layout mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------
+
+TEST(WireFrames, HelloRoundTripsAndRejectsBadMagicAndVersion)
+{
+    EXPECT_NO_THROW(checkHelloPayload(encodeHelloPayload()));
+
+    std::string bad_magic = encodeHelloPayload();
+    bad_magic[0] = 'X';
+    EXPECT_THROW(checkHelloPayload(bad_magic), WireError);
+
+    WireWriter w;
+    w.raw(wireMagic, sizeof(wireMagic));
+    w.varint(wireVersion + 1);
+    EXPECT_THROW(checkHelloPayload(w.buffer()), WireError);
+
+    EXPECT_THROW(checkHelloPayload("TOK"), WireError);
+}
+
+TEST(WireFrames, ExtractionIsIncrementalByteByByte)
+{
+    std::string stream;
+    appendFrame(stream, FrameType::job, "payload-one");
+    appendFrame(stream, FrameType::result, "");
+    appendFrame(stream, FrameType::error, std::string(300, 'e'));
+
+    // Feed one byte at a time: a frame must appear exactly when its
+    // last byte arrives, and partial frames must never consume input.
+    std::string buf;
+    std::size_t pos = 0;
+    std::vector<Frame> got;
+    for (char c : stream) {
+        buf.push_back(c);
+        Frame f;
+        while (tryExtractFrame(buf, pos, f))
+            got.push_back(f);
+    }
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].type, FrameType::job);
+    EXPECT_EQ(got[0].payload, "payload-one");
+    EXPECT_EQ(got[1].type, FrameType::result);
+    EXPECT_EQ(got[1].payload, "");
+    EXPECT_EQ(got[2].type, FrameType::error);
+    EXPECT_EQ(got[2].payload, std::string(300, 'e'));
+    EXPECT_EQ(pos, stream.size());
+}
+
+TEST(WireFrames, UnknownFrameTypeIsATypedError)
+{
+    std::string buf("\x09\x00", 2);
+    std::size_t pos = 0;
+    Frame f;
+    EXPECT_THROW(tryExtractFrame(buf, pos, f), WireError);
+}
+
+TEST(WireFrames, OversizedPayloadLengthIsATypedError)
+{
+    // A length claiming 2^40 bytes must be rejected up front, not
+    // buffered toward OOM.
+    std::string buf;
+    buf.push_back(static_cast<char>(FrameType::job));
+    WireWriter w;
+    w.varint(1ull << 40);
+    buf += w.buffer();
+    std::size_t pos = 0;
+    Frame f;
+    EXPECT_THROW(tryExtractFrame(buf, pos, f), WireError);
+}
+
+TEST(WireFrames, JobResultErrorPayloadsRoundTrip)
+{
+    const SystemConfig cfg = exhaustiveConfig();
+    const JobFrame job =
+        decodeJobPayload(encodeJobPayload(42, cfg, 1234567));
+    EXPECT_EQ(job.jobId, 42u);
+    EXPECT_EQ(job.seed, 1234567u);
+    expectSameConfig(job.cfg, cfg);
+
+    const System::Results res = exhaustiveResults();
+    const ResultFrame rf =
+        decodeResultPayload(encodeResultPayload(7, res));
+    EXPECT_EQ(rf.jobId, 7u);
+    expectSameResults(rf.results, res);
+
+    const ErrorFrame ef = decodeErrorPayload(
+        encodeErrorPayload(9, "system exceeded maxTicks"));
+    EXPECT_EQ(ef.jobId, 9u);
+    EXPECT_EQ(ef.message, "system exceeded maxTicks");
+}
+
+TEST(WireFrames, ResultPayloadTruncationAtEveryByteIsATypedError)
+{
+    const std::string full =
+        encodeResultPayload(3, exhaustiveResults());
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        EXPECT_THROW(decodeResultPayload(full.substr(0, cut)),
+                     WireError);
+    }
+}
+
+} // namespace
+} // namespace tokensim
