@@ -552,7 +552,7 @@ BM_EndToEndSimulatedOps(benchmark::State &state)
         cfg.opsPerProcessor = 500;
         System sys(cfg);
         sys.run();
-        benchmark::DoNotOptimize(sys.results().runtimeTicks);
+        benchmark::DoNotOptimize(sys.results().runtimeTicks());
     }
     state.SetItemsProcessed(state.iterations() * 16 * 500);
 }

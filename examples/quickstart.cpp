@@ -75,39 +75,39 @@ main(int argc, char **argv)
                 cfg.numNodes, protocolName(proto), workload.c_str(),
                 cfg.topology.c_str());
     std::printf("simulated:     %.1f us (%llu ops, %llu transactions)\n",
-                ticksToNsF(r.runtimeTicks) / 1000.0,
-                static_cast<unsigned long long>(r.ops),
-                static_cast<unsigned long long>(r.transactions));
+                ticksToNsF(r.runtimeTicks()) / 1000.0,
+                static_cast<unsigned long long>(r.ops()),
+                static_cast<unsigned long long>(r.transactions()));
     std::printf("runtime:       %.1f cycles/transaction\n",
                 r.cyclesPerTransaction());
     std::printf("L1 hits:       %.1f%% of ops\n",
-                100.0 * static_cast<double>(r.l1Hits) /
-                    static_cast<double>(r.ops));
+                100.0 * static_cast<double>(r.l1Hits()) /
+                    static_cast<double>(r.ops()));
     std::printf("L2 misses:     %llu (%.1f%% of L2 accesses, "
                 "%.1f%% cache-to-cache)\n",
-                static_cast<unsigned long long>(r.misses),
-                100.0 * static_cast<double>(r.misses) /
-                    static_cast<double>(r.l2Accesses),
-                100.0 * static_cast<double>(r.cacheToCache) /
-                    static_cast<double>(r.misses));
-    std::printf("miss latency:  %.0f ns average\n",
-                ticksToNsF(static_cast<Tick>(r.avgMissLatencyTicks)));
+                static_cast<unsigned long long>(r.misses()),
+                100.0 * static_cast<double>(r.misses()) /
+                    static_cast<double>(r.l2Accesses()),
+                100.0 * static_cast<double>(r.cacheToCache()) /
+                    static_cast<double>(r.misses()));
+    std::printf("miss latency:  %.1f ns average\n",
+                ticksToNsF(r.avgMissLatencyTicks()));
     std::printf("traffic:       %.1f bytes/miss on the interconnect\n",
                 r.bytesPerMiss());
     std::printf("sim kernel:    %.1f events/op dispatched "
                 "(%llu scheduled, %llu timer cancels)\n",
                 r.eventsPerOp(),
-                static_cast<unsigned long long>(r.eventsScheduled),
-                static_cast<unsigned long long>(r.timersCancelled));
+                static_cast<unsigned long long>(r.eventsScheduled()),
+                static_cast<unsigned long long>(r.timersCancelled()));
     if (isTokenProtocol(proto)) {
         std::printf("reissues:      %.2f%% of misses reissued, "
                     "%.2f%% used persistent requests\n",
                     100.0 *
-                        static_cast<double>(r.missesReissuedOnce +
-                                            r.missesReissuedMore) /
-                        static_cast<double>(r.misses),
-                    100.0 * static_cast<double>(r.missesPersistent) /
-                        static_cast<double>(r.misses));
+                        static_cast<double>(r.missesReissuedOnce() +
+                                            r.missesReissuedMore()) /
+                        static_cast<double>(r.misses()),
+                    100.0 * static_cast<double>(r.missesPersistent()) /
+                        static_cast<double>(r.misses()));
         std::string err;
         if (sys.auditor() && sys.auditor()->auditAll(&err)) {
             std::printf("token audit:   all %zu touched blocks "

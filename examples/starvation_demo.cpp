@@ -46,14 +46,14 @@ runCase(const char *label, ProtocolKind proto, std::uint64_t ops)
     std::printf("%-22s %8llu ops, %7.1f ns/miss, "
                 "reissued %5.1f%%, persistent %5.1f%%, "
                 "arbiter activations %llu\n",
-                label, static_cast<unsigned long long>(r.ops),
-                ticksToNsF(static_cast<Tick>(r.avgMissLatencyTicks)),
+                label, static_cast<unsigned long long>(r.ops()),
+                ticksToNsF(r.avgMissLatencyTicks()),
                 100.0 *
-                    static_cast<double>(r.missesReissuedOnce +
-                                        r.missesReissuedMore) /
-                    static_cast<double>(r.misses),
-                100.0 * static_cast<double>(r.missesPersistent) /
-                    static_cast<double>(r.misses),
+                    static_cast<double>(r.missesReissuedOnce() +
+                                        r.missesReissuedMore()) /
+                    static_cast<double>(r.misses()),
+                100.0 * static_cast<double>(r.missesPersistent()) /
+                    static_cast<double>(r.misses()),
                 static_cast<unsigned long long>(
                     arb.stats().activations));
 

@@ -39,6 +39,8 @@
  *   --fork-workers     fork-only workers instead of exec'ing self
  *   --progress         stream shard/partial-aggregate lines (stderr)
  *   --stats            print a summary table after the run (stderr)
+ *   --metrics          dump every named metric of every design
+ *                      point's merged registry (stderr)
  */
 
 #include <cstdio>
@@ -114,6 +116,7 @@ struct Options
     bool forkWorkers = false;
     bool progress = false;
     bool stats = false;
+    bool metrics = false;
 };
 
 Options
@@ -159,6 +162,8 @@ parseOptions(int argc, char **argv, int first)
             o.progress = true;
         else if (a == "--stats")
             o.stats = true;
+        else if (a == "--metrics")
+            o.metrics = true;
         else
             throw std::invalid_argument("unknown option: " + a);
     }
@@ -196,6 +201,47 @@ buildMatrix(const Options &o)
         }
     }
     return specs;
+}
+
+/**
+ * Human-readable dump of one design point's merged metric registry:
+ * every named metric — counters, stats, log-histograms — with its
+ * pinned/diagnostic flag. Walks the registry generically, so metrics
+ * added in System::results() appear here with no tool change.
+ */
+void
+dumpMetrics(const ExperimentResult &r)
+{
+    std::fprintf(stderr, "\nmetrics for %s:\n", r.label.c_str());
+    for (const Metric &m : r.metrics.all()) {
+        const char flag = m.pinned ? 'P' : 'd';
+        switch (m.kind) {
+          case MetricKind::counter:
+            std::fprintf(stderr, "  [%c] %-28s %llu\n", flag,
+                         m.name.c_str(),
+                         static_cast<unsigned long long>(m.value));
+            break;
+          case MetricKind::stat:
+            std::fprintf(stderr,
+                         "  [%c] %-28s n=%llu mean=%.4f sd=%.4f "
+                         "min=%.1f max=%.1f\n",
+                         flag, m.name.c_str(),
+                         static_cast<unsigned long long>(
+                             m.stat.count()),
+                         m.stat.mean(), m.stat.stddev(),
+                         m.stat.min(), m.stat.max());
+            break;
+          case MetricKind::histogram:
+            std::fprintf(stderr, "  [%c] %-28s", flag,
+                         m.name.c_str());
+            for (const auto &[bucket, count] : m.hist.buckets()) {
+                std::fprintf(stderr, " 2^%d:%llu", bucket - 1,
+                             static_cast<unsigned long long>(count));
+            }
+            std::fprintf(stderr, "\n");
+            break;
+        }
+    }
 }
 
 /** Path of this binary, for exec'ing ourselves as the worker. */
@@ -266,6 +312,11 @@ runSweep(const Options &o)
                          r.label.c_str(), r.cyclesPerTransaction,
                          r.bytesPerMiss, r.missRate, r.eventsPerOp);
         }
+    }
+
+    if (o.metrics) {
+        for (const ExperimentResult &r : results)
+            dumpMetrics(r);
     }
     return 0;
 }

@@ -302,6 +302,7 @@ TokenBCache::checkSatisfied(Addr addr)
         static_cast<double>(ctx_.now() - tr.issuedAt);
     ++stats_.missesCompleted;
     stats_.missLatency.add(latency);
+    stats_.missLatencyHist.add(latency);
     // The adaptive reissue timeout tracks the latency of *ordinary*
     // misses. Folding in persistent-path latencies (which include the
     // timeout chain itself) makes the estimate — and therefore the

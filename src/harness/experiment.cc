@@ -60,6 +60,12 @@ resultDigest(const ExperimentResult &r)
 bool
 identicalResults(const ExperimentResult &a, const ExperimentResult &b)
 {
+    // The registries cover every metric (diagnostic ones included)
+    // with bit-exact payload comparison; the derived-field checks
+    // below would be implied, but stay as a cheap cross-check that
+    // derivation itself is deterministic.
+    if (a.metrics != b.metrics)
+        return false;
     if (a.ops != b.ops || a.misses != b.misses)
         return false;
     if (a.cyclesPerTransaction != b.cyclesPerTransaction ||
@@ -114,63 +120,81 @@ aggregateResults(const std::vector<System::Results> &runs,
     ExperimentResult out;
     out.label = label;
 
-    RunningStat cpt;
-    std::uint64_t total_misses = 0;
-    std::uint64_t total_c2c = 0;
-    std::uint64_t total_l2_accesses = 0;
-    std::uint64_t byte_links[numMsgClasses] = {};
-    std::uint64_t total_byte_links = 0;
-    std::uint64_t not_reissued = 0, once = 0, more = 0, persistent = 0;
-    std::uint64_t events_dispatched = 0;
-    RunningStat miss_lat;
+    // One generic merge replaces the old per-field accumulation: each
+    // metric folds in by its kind's rule (counters sum, stats
+    // Welford-combine, histograms add bucket-wise). Seed order is
+    // fixed by the caller, so the merged registry — and everything
+    // derived from it — is independent of execution order.
+    for (const System::Results &r : runs)
+        out.metrics.merge(r.metrics);
+    const MetricRegistry &m = out.metrics;
 
-    for (const System::Results &r : runs) {
-        cpt.add(r.cyclesPerTransaction());
-        total_misses += r.misses;
-        total_c2c += r.cacheToCache;
-        total_l2_accesses += r.l2Accesses;
-        for (std::size_t c = 0; c < numMsgClasses; ++c) {
-            byte_links[c] += r.traffic.byClass[c].byteLinks;
-            total_byte_links += r.traffic.byClass[c].byteLinks;
-        }
-        not_reissued += r.missesNotReissued;
-        once += r.missesReissuedOnce;
-        more += r.missesReissuedMore;
-        persistent += r.missesPersistent;
-        out.ops += r.ops;
-        events_dispatched += r.eventsDispatched;
-        if (r.avgMissLatencyTicks > 0)
-            miss_lat.add(r.avgMissLatencyTicks);
-    }
-
+    // cpt_ns holds one sample per run; combining single-sample stats
+    // is bit-identical to the sequential add() loop this replaced
+    // (RunningStat::combine's documented guarantee), so the pinned
+    // cpt/cptSd digest fields are unchanged.
+    const RunningStat cpt = m.statValue("cpt_ns");
     out.cyclesPerTransaction = cpt.mean();
     out.cyclesPerTransactionStddev = cpt.stddev();
+
+    out.ops = m.counterValue("ops");
+    const std::uint64_t total_misses = m.counterValue("misses");
     out.misses = total_misses;
+
+    std::uint64_t total_byte_links = 0;
+    for (std::size_t c = 0; c < numMsgClasses; ++c) {
+        total_byte_links += m.counterValue(
+            std::string("link_bytes_") +
+            msgClassName(static_cast<MsgClass>(c)));
+    }
+
     if (total_misses) {
-        out.bytesPerMiss = static_cast<double>(total_byte_links) /
-            static_cast<double>(total_misses);
+        const double denom = static_cast<double>(total_misses);
+        out.bytesPerMiss =
+            static_cast<double>(total_byte_links) / denom;
         for (std::size_t c = 0; c < numMsgClasses; ++c) {
             out.bytesPerMissByClass[c] =
-                static_cast<double>(byte_links[c]) /
-                static_cast<double>(total_misses);
+                static_cast<double>(m.counterValue(
+                    std::string("link_bytes_") +
+                    msgClassName(static_cast<MsgClass>(c)))) /
+                denom;
         }
-        out.cacheToCacheFrac = static_cast<double>(total_c2c) /
-            static_cast<double>(total_misses);
+        out.cacheToCacheFrac =
+            static_cast<double>(m.counterValue("cache_to_cache")) /
+            denom;
 
-        const double denom = static_cast<double>(total_misses);
-        out.pctNotReissued = 100.0 * static_cast<double>(not_reissued) / denom;
-        out.pctReissuedOnce = 100.0 * static_cast<double>(once) / denom;
-        out.pctReissuedMore = 100.0 * static_cast<double>(more) / denom;
-        out.pctPersistent = 100.0 * static_cast<double>(persistent) / denom;
+        out.pctNotReissued = 100.0 *
+            static_cast<double>(m.counterValue("miss_reissue_none")) /
+            denom;
+        out.pctReissuedOnce = 100.0 *
+            static_cast<double>(m.counterValue("miss_reissue_once")) /
+            denom;
+        out.pctReissuedMore = 100.0 *
+            static_cast<double>(m.counterValue("miss_reissue_more")) /
+            denom;
+        out.pctPersistent = 100.0 *
+            static_cast<double>(m.counterValue("miss_persistent")) /
+            denom;
     }
+    const std::uint64_t total_l2_accesses =
+        m.counterValue("l2_accesses");
     if (total_l2_accesses) {
         out.missRate = static_cast<double>(total_misses) /
             static_cast<double>(total_l2_accesses);
     }
-    out.avgMissLatencyNs = ticksToNsF(
-        static_cast<Tick>(miss_lat.mean()));
+
+    // The merged miss-latency stat pools every miss of every run, so
+    // the cross-seed mean is weighted by miss count (a seed with more
+    // misses counts proportionally more; it used to be an unweighted
+    // mean of per-seed means). The mean is fractional ticks and must
+    // stay fractional through the ns conversion — casting it to Tick
+    // first quantized the reported latency to 0.1 ns steps.
+    out.avgMissLatencyNs =
+        ticksToNsF(m.statValue("miss_latency_ticks").mean());
+
     if (out.ops) {
-        out.eventsPerOp = static_cast<double>(events_dispatched) /
+        out.eventsPerOp =
+            static_cast<double>(m.counterValue("events_dispatched")) /
             static_cast<double>(out.ops);
     }
     return out;

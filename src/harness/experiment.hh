@@ -15,10 +15,19 @@
 
 namespace tokensim {
 
-/** Aggregated metrics for one design point. */
+/**
+ * Aggregated metrics for one design point. The registry holds every
+ * metric of every run, merged by each metric's rule (sum /
+ * Welford-combine / bucket-add); the named fields below are the
+ * figure-ready aggregates derived from it, kept as plain doubles so
+ * resultDigest() stays pinned to a fixed field set and order.
+ */
 struct ExperimentResult
 {
     std::string label;
+
+    /** Union of the per-run registries, merged in seed order. */
+    MetricRegistry metrics;
 
     double cyclesPerTransaction = 0;
     double cyclesPerTransactionStddev = 0;

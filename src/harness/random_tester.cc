@@ -205,11 +205,11 @@ runRandomTester(const RandomTesterConfig &cfg)
     const System::Results r = sys.results();
     out.passed = ok;
     out.error = error;
-    out.opsCompleted = r.ops;
+    out.opsCompleted = r.ops();
     out.loadsChecked = checker.checksPerformed();
-    out.misses = r.misses;
-    out.persistentMisses = r.missesPersistent;
-    out.reissuedMisses = r.missesReissuedOnce + r.missesReissuedMore;
+    out.misses = r.misses();
+    out.persistentMisses = r.missesPersistent();
+    out.reissuedMisses = r.missesReissuedOnce() + r.missesReissuedMore();
     return out;
 }
 

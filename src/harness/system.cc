@@ -364,35 +364,107 @@ System::run()
         traceWriter_->writeFile(cfg_.recordTrace);
 }
 
+/**
+ * The full metric catalog of a run, registered in one fixed order so
+ * registry equality is meaningful across runners. Pinned metrics feed
+ * the aggregates resultDigest() prints; the rest are diagnostic (still
+ * deterministic, still compared by the differential gates, but free to
+ * evolve without golden-digest churn). New metrics are one
+ * registration here — the wire codec, merge, and determinism gates
+ * pick them up generically.
+ */
 System::Results
 System::results() const
 {
-    Results r;
-    r.runtimeTicks = eq_.curTick() - measureStart_;
+    std::uint64_t ops = 0, transactions = 0, l1_hits = 0;
+    std::uint64_t l2_accesses = 0, l2_hits = 0, misses = 0, c2c = 0;
+    std::uint64_t not_reissued = 0, once = 0, more = 0, persistent = 0;
     RunningStat miss_lat;
+    LogHistogram miss_hist;
     for (int i = 0; i < cfg_.numNodes; ++i) {
         const SequencerStats &ss = sequencers_[i]->stats();
-        r.ops += ss.opsCompleted;
-        r.transactions += ss.transactions;
-        r.l1Hits += ss.l1Hits;
-        r.l2Accesses += ss.l2Accesses;
+        ops += ss.opsCompleted;
+        transactions += ss.transactions;
+        l1_hits += ss.l1Hits;
+        l2_accesses += ss.l2Accesses;
 
         const CacheCtrlStats &cs = caches_[i]->stats();
-        r.l2Hits += cs.hits;
-        r.misses += cs.missesCompleted;
-        r.cacheToCache += cs.cacheToCache;
-        r.missesNotReissued += cs.missesNotReissued;
-        r.missesReissuedOnce += cs.missesReissuedOnce;
-        r.missesReissuedMore += cs.missesReissuedMore;
-        r.missesPersistent += cs.missesPersistent;
-        if (cs.missLatency.count())
-            miss_lat.add(cs.missLatency.mean());
+        l2_hits += cs.hits;
+        misses += cs.missesCompleted;
+        c2c += cs.cacheToCache;
+        not_reissued += cs.missesNotReissued;
+        once += cs.missesReissuedOnce;
+        more += cs.missesReissuedMore;
+        persistent += cs.missesPersistent;
+        // Pool the per-controller stats so every miss weighs equally.
+        // (Until PR 6 this averaged the per-node means, giving a
+        // lightly-loaded node the same weight as a saturated one.)
+        miss_lat.combine(cs.missLatency);
+        miss_hist.merge(cs.missLatencyHist);
     }
-    r.avgMissLatencyTicks = miss_lat.mean();
-    r.eventsScheduled = eq_.scheduled() - measureStartScheduled_;
-    r.eventsDispatched = eq_.dispatched() - measureStartDispatched_;
-    r.timersCancelled = eq_.cancelled() - measureStartCancelled_;
-    r.traffic = net_->traffic();
+    const Tick runtime = eq_.curTick() - measureStart_;
+
+    // Cycles-per-transaction enters the registry as a single-sample
+    // stat: merging runs then Welford-combines these one-sample stats,
+    // which RunningStat::combine guarantees is bit-identical to the
+    // sequential add() loop the aggregation historically used — that
+    // keeps the digest-pinned cpt/cptSd fields stable.
+    RunningStat cpt;
+    cpt.add(transactions ? ticksToNsF(runtime) /
+                static_cast<double>(transactions)
+                         : 0.0);
+
+    Results r;
+    MetricRegistry &m = r.metrics;
+    m.addCounter("ops", metricPinned, ops);
+    m.addCounter("transactions", metricDiagnostic, transactions);
+    m.addCounter("runtime_ticks", metricDiagnostic, runtime);
+    m.addCounter("l1_hits", metricDiagnostic, l1_hits);
+    m.addCounter("l2_accesses", metricPinned, l2_accesses);
+    m.addCounter("l2_hits", metricDiagnostic, l2_hits);
+    m.addCounter("misses", metricPinned, misses);
+    m.addCounter("cache_to_cache", metricPinned, c2c);
+
+    // Token Coherence reissue buckets (Table 2).
+    m.addCounter("miss_reissue_none", metricPinned, not_reissued);
+    m.addCounter("miss_reissue_once", metricPinned, once);
+    m.addCounter("miss_reissue_more", metricPinned, more);
+    m.addCounter("miss_persistent", metricPinned, persistent);
+
+    m.addStat("miss_latency_ticks", metricPinned, miss_lat);
+    m.addHistogram("miss_latency_hist", metricDiagnostic, miss_hist);
+    m.addStat("cpt_ns", metricPinned, cpt);
+
+    // Interconnect traffic, flattened per message class; the per-type
+    // counters are sparse (most of the 24 types are zero under any one
+    // protocol), so zero counts are skipped and merge unions the rest.
+    const TrafficStats &t = net_->traffic();
+    for (std::size_t c = 0; c < numMsgClasses; ++c) {
+        m.addCounter(std::string("link_bytes_") +
+                         msgClassName(static_cast<MsgClass>(c)),
+                     metricPinned, t.byClass[c].byteLinks);
+    }
+    for (std::size_t c = 0; c < numMsgClasses; ++c) {
+        m.addCounter(std::string("msgs_") +
+                         msgClassName(static_cast<MsgClass>(c)),
+                     metricDiagnostic, t.byClass[c].messages);
+    }
+    for (std::size_t i = 0; i < numMsgTypes; ++i) {
+        if (t.messagesByType[i]) {
+            m.addCounter(std::string("msgs_type_") +
+                             msgTypeName(static_cast<MsgType>(i)),
+                         metricDiagnostic, t.messagesByType[i]);
+        }
+    }
+    m.addCounter("net_deliveries", metricDiagnostic, t.deliveries);
+    m.addStat("net_latency_ticks", metricDiagnostic, t.latency);
+
+    m.addCounter("events_scheduled", metricDiagnostic,
+                 eq_.scheduled() - measureStartScheduled_);
+    m.addCounter("events_dispatched", metricDiagnostic,
+                 eq_.dispatched() - measureStartDispatched_);
+    m.addCounter("timers_cancelled", metricDiagnostic,
+                 eq_.cancelled() - measureStartCancelled_);
     return r;
 }
 

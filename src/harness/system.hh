@@ -23,6 +23,7 @@
 #include "proto/context.hh"
 #include "proto/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/metrics.hh"
 #include "workload/commercial.hh"
 #include "workload/factory.hh"
 #include "workload/trace.hh"
@@ -199,51 +200,156 @@ class System
     /** Zero all reported statistics (measurement boundary). */
     void resetStats();
 
-    /** Aggregated results of a completed run. */
+    /**
+     * Aggregated results of a completed run: a named-metric registry
+     * ("results v2") plus typed accessors for the common metrics.
+     *
+     * The registry is the single source of truth — the wire format
+     * ships it generically, aggregateResults / ParallelRunner /
+     * DistRunner merge it generically, and the determinism gates
+     * compare it wholesale. System::results() registers every metric
+     * in one fixed order (see its definition for the full catalog),
+     * so registry equality is meaningful across runners.
+     *
+     * An accessor over an absent metric reports zero/empty, so a
+     * default-constructed Results behaves exactly like the old
+     * zero-initialized struct.
+     */
     struct Results
     {
-        Tick runtimeTicks = 0;
-        std::uint64_t ops = 0;
-        std::uint64_t transactions = 0;
-        std::uint64_t l1Hits = 0;
-        std::uint64_t l2Accesses = 0;
-        std::uint64_t l2Hits = 0;
-        std::uint64_t misses = 0;
-        std::uint64_t cacheToCache = 0;
-        double avgMissLatencyTicks = 0;
+        MetricRegistry metrics;
+
+        std::uint64_t ops() const { return metrics.counterValue("ops"); }
+        std::uint64_t
+        transactions() const
+        {
+            return metrics.counterValue("transactions");
+        }
+        Tick
+        runtimeTicks() const
+        {
+            return metrics.counterValue("runtime_ticks");
+        }
+        std::uint64_t
+        l1Hits() const
+        {
+            return metrics.counterValue("l1_hits");
+        }
+        std::uint64_t
+        l2Accesses() const
+        {
+            return metrics.counterValue("l2_accesses");
+        }
+        std::uint64_t
+        l2Hits() const
+        {
+            return metrics.counterValue("l2_hits");
+        }
+        std::uint64_t
+        misses() const
+        {
+            return metrics.counterValue("misses");
+        }
+        std::uint64_t
+        cacheToCache() const
+        {
+            return metrics.counterValue("cache_to_cache");
+        }
 
         // Token Coherence reissue buckets (Table 2).
-        std::uint64_t missesNotReissued = 0;
-        std::uint64_t missesReissuedOnce = 0;
-        std::uint64_t missesReissuedMore = 0;
-        std::uint64_t missesPersistent = 0;
+        std::uint64_t
+        missesNotReissued() const
+        {
+            return metrics.counterValue("miss_reissue_none");
+        }
+        std::uint64_t
+        missesReissuedOnce() const
+        {
+            return metrics.counterValue("miss_reissue_once");
+        }
+        std::uint64_t
+        missesReissuedMore() const
+        {
+            return metrics.counterValue("miss_reissue_more");
+        }
+        std::uint64_t
+        missesPersistent() const
+        {
+            return metrics.counterValue("miss_persistent");
+        }
 
         // Event-kernel counters over the measured window (diagnostic:
-        // simulator cost, not simulated behavior — deliberately kept
-        // out of resultDigest() so golden digests don't churn with
-        // kernel bookkeeping changes).
-        std::uint64_t eventsScheduled = 0;
-        std::uint64_t eventsDispatched = 0;
-        std::uint64_t timersCancelled = 0;
+        // simulator cost, not simulated behavior — kept out of
+        // resultDigest() so golden digests don't churn with kernel
+        // bookkeeping changes).
+        std::uint64_t
+        eventsScheduled() const
+        {
+            return metrics.counterValue("events_scheduled");
+        }
+        std::uint64_t
+        eventsDispatched() const
+        {
+            return metrics.counterValue("events_dispatched");
+        }
+        std::uint64_t
+        timersCancelled() const
+        {
+            return metrics.counterValue("timers_cancelled");
+        }
 
-        TrafficStats traffic;
+        /** Miss-latency stat pooled over every miss on every node. */
+        RunningStat
+        missLatency() const
+        {
+            return metrics.statValue("miss_latency_ticks");
+        }
+        double
+        avgMissLatencyTicks() const
+        {
+            return missLatency().mean();
+        }
+
+        // Interconnect traffic, flattened from the Network's
+        // TrafficStats into per-class counters (the Network itself
+        // still exposes the raw struct via Network::traffic()).
+        std::uint64_t
+        linkBytesOf(MsgClass c) const
+        {
+            return metrics.counterValue(std::string("link_bytes_") +
+                                        msgClassName(c));
+        }
+        std::uint64_t
+        messagesOf(MsgClass c) const
+        {
+            return metrics.counterValue(std::string("msgs_") +
+                                        msgClassName(c));
+        }
+        std::uint64_t
+        totalLinkBytes() const
+        {
+            std::uint64_t t = 0;
+            for (std::size_t c = 0; c < numMsgClasses; ++c)
+                t += linkBytesOf(static_cast<MsgClass>(c));
+            return t;
+        }
 
         /** Dispatched simulation events per completed operation. */
         double
         eventsPerOp() const
         {
-            return ops ? static_cast<double>(eventsDispatched) /
-                       static_cast<double>(ops)
-                       : 0.0;
+            return ops() ? static_cast<double>(eventsDispatched()) /
+                       static_cast<double>(ops())
+                         : 0.0;
         }
 
         /** Cycles (1 GHz => ns) per transaction. */
         double
         cyclesPerTransaction() const
         {
-            return transactions
-                ? ticksToNsF(runtimeTicks) /
-                      static_cast<double>(transactions)
+            return transactions()
+                ? ticksToNsF(runtimeTicks()) /
+                      static_cast<double>(transactions())
                 : 0.0;
         }
 
@@ -251,18 +357,18 @@ class System
         double
         bytesPerMiss() const
         {
-            return misses
-                ? static_cast<double>(traffic.totalByteLinks()) /
-                      static_cast<double>(misses)
+            return misses()
+                ? static_cast<double>(totalLinkBytes()) /
+                      static_cast<double>(misses())
                 : 0.0;
         }
 
         double
         bytesPerMissOf(MsgClass c) const
         {
-            return misses
-                ? static_cast<double>(traffic.byteLinksOf(c)) /
-                      static_cast<double>(misses)
+            return misses()
+                ? static_cast<double>(linkBytesOf(c)) /
+                      static_cast<double>(misses())
                 : 0.0;
         }
     };

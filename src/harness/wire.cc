@@ -390,85 +390,129 @@ decodeExperimentSpec(WireReader &r)
 }
 
 void
+encodeMetrics(WireWriter &w, const MetricRegistry &metrics)
+{
+    w.varint(metrics.size());
+    for (const Metric &m : metrics.all()) {
+        w.str(m.name);
+        w.u8(static_cast<std::uint8_t>(m.kind));
+        w.boolean(m.pinned);
+        switch (m.kind) {
+          case MetricKind::counter:
+            w.varint(m.value);
+            break;
+          case MetricKind::stat: {
+            const RunningStat::Snapshot s = m.stat.snapshot();
+            w.varint(s.count);
+            w.f64(s.mean);
+            w.f64(s.m2);
+            w.f64(s.min);
+            w.f64(s.max);
+            break;
+          }
+          case MetricKind::histogram:
+            w.varint(m.hist.buckets().size());
+            for (const auto &[bucket, count] : m.hist.buckets()) {
+                w.varint(static_cast<std::uint64_t>(bucket));
+                w.varint(count);
+            }
+            break;
+        }
+    }
+    putStructEnd(w);
+}
+
+MetricRegistry
+decodeMetrics(WireReader &r)
+{
+    MetricRegistry metrics;
+    const std::uint64_t count = r.varint("metric count");
+    if (count > maxWireMetrics) {
+        throw WireError("metric count " + std::to_string(count) +
+                        " exceeds the cap");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::string name = r.str("metric name");
+        if (name.empty())
+            throw WireError("empty metric name");
+        if (metrics.find(name))
+            throw WireError("duplicate metric name: " + name);
+        const std::uint8_t kind_byte = r.u8("metric kind");
+        if (kind_byte >
+            static_cast<std::uint8_t>(MetricKind::histogram)) {
+            throw WireError("metric kind byte " +
+                            std::to_string(kind_byte) +
+                            " out of range");
+        }
+        const bool pinned = r.boolean("metric pinned flag");
+        switch (static_cast<MetricKind>(kind_byte)) {
+          case MetricKind::counter:
+            metrics.addCounter(name, pinned,
+                               r.varint("counter value"));
+            break;
+          case MetricKind::stat: {
+            RunningStat::Snapshot s;
+            s.count = r.varint("stat count");
+            s.mean = r.f64("stat mean");
+            s.m2 = r.f64("stat m2");
+            s.min = r.f64("stat min");
+            s.max = r.f64("stat max");
+            metrics.addStat(name, pinned,
+                            RunningStat::fromSnapshot(s));
+            break;
+          }
+          case MetricKind::histogram: {
+            const std::uint64_t nbuckets =
+                r.varint("histogram bucket count");
+            if (nbuckets >
+                static_cast<std::uint64_t>(LogHistogram::kMaxBucket) +
+                    1) {
+                throw WireError("histogram bucket count " +
+                                std::to_string(nbuckets) +
+                                " exceeds the bucket range");
+            }
+            LogHistogram h;
+            std::int64_t prev = -1;
+            for (std::uint64_t b = 0; b < nbuckets; ++b) {
+                const std::uint64_t idx =
+                    r.varint("histogram bucket index");
+                if (idx > static_cast<std::uint64_t>(
+                              LogHistogram::kMaxBucket) ||
+                    static_cast<std::int64_t>(idx) <= prev) {
+                    throw WireError(
+                        "histogram bucket indices must be strictly "
+                        "ascending and within range");
+                }
+                prev = static_cast<std::int64_t>(idx);
+                const std::uint64_t n =
+                    r.varint("histogram bucket value");
+                if (n == 0) {
+                    throw WireError(
+                        "histogram holds an empty bucket (encoding "
+                        "is not canonical)");
+                }
+                h.addCount(static_cast<std::int32_t>(idx), n);
+            }
+            metrics.addHistogram(name, pinned, h);
+            break;
+          }
+        }
+    }
+    checkStructEnd(r, "metric registry");
+    return metrics;
+}
+
+void
 encodeResults(WireWriter &w, const System::Results &res)
 {
-    w.varint(res.runtimeTicks);
-    w.varint(res.ops);
-    w.varint(res.transactions);
-    w.varint(res.l1Hits);
-    w.varint(res.l2Accesses);
-    w.varint(res.l2Hits);
-    w.varint(res.misses);
-    w.varint(res.cacheToCache);
-    w.f64(res.avgMissLatencyTicks);
-    w.varint(res.missesNotReissued);
-    w.varint(res.missesReissuedOnce);
-    w.varint(res.missesReissuedMore);
-    w.varint(res.missesPersistent);
-    w.varint(res.eventsScheduled);
-    w.varint(res.eventsDispatched);
-    w.varint(res.timersCancelled);
-
-    // Traffic: counts first so a receiver built with different
-    // message taxonomies fails loudly instead of shifting fields.
-    w.varint(numMsgClasses);
-    for (const auto &c : res.traffic.byClass) {
-        w.varint(c.messages);
-        w.varint(c.byteLinks);
-    }
-    w.varint(numMsgTypes);
-    for (std::uint64_t m : res.traffic.messagesByType)
-        w.varint(m);
-    w.varint(res.traffic.deliveries);
-    const RunningStat::Snapshot lat = res.traffic.latency.snapshot();
-    w.varint(lat.count);
-    w.f64(lat.mean);
-    w.f64(lat.m2);
-    w.f64(lat.min);
-    w.f64(lat.max);
-    putStructEnd(w);
+    encodeMetrics(w, res.metrics);
 }
 
 System::Results
 decodeResults(WireReader &r)
 {
     System::Results res;
-    res.runtimeTicks = r.varint("runtimeTicks");
-    res.ops = r.varint("ops");
-    res.transactions = r.varint("transactions");
-    res.l1Hits = r.varint("l1Hits");
-    res.l2Accesses = r.varint("l2Accesses");
-    res.l2Hits = r.varint("l2Hits");
-    res.misses = r.varint("misses");
-    res.cacheToCache = r.varint("cacheToCache");
-    res.avgMissLatencyTicks = r.f64("avgMissLatencyTicks");
-    res.missesNotReissued = r.varint("missesNotReissued");
-    res.missesReissuedOnce = r.varint("missesReissuedOnce");
-    res.missesReissuedMore = r.varint("missesReissuedMore");
-    res.missesPersistent = r.varint("missesPersistent");
-    res.eventsScheduled = r.varint("eventsScheduled");
-    res.eventsDispatched = r.varint("eventsDispatched");
-    res.timersCancelled = r.varint("timersCancelled");
-
-    if (r.varint("message class count") != numMsgClasses)
-        throw WireError("message class count mismatch");
-    for (auto &c : res.traffic.byClass) {
-        c.messages = r.varint("class messages");
-        c.byteLinks = r.varint("class byteLinks");
-    }
-    if (r.varint("message type count") != numMsgTypes)
-        throw WireError("message type count mismatch");
-    for (auto &m : res.traffic.messagesByType)
-        m = r.varint("messages by type");
-    res.traffic.deliveries = r.varint("deliveries");
-    RunningStat::Snapshot lat;
-    lat.count = r.varint("latency count");
-    lat.mean = r.f64("latency mean");
-    lat.m2 = r.f64("latency m2");
-    lat.min = r.f64("latency min");
-    lat.max = r.f64("latency max");
-    res.traffic.latency = RunningStat::fromSnapshot(lat);
-    checkStructEnd(r, "results");
+    res.metrics = decodeMetrics(r);
     return res;
 }
 

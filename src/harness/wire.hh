@@ -60,7 +60,9 @@ class WireError : public std::runtime_error
 };
 
 /** Bumped on any change to an encoded layout. */
-constexpr std::uint32_t wireVersion = 1;
+// v2: System::Results became a named-metric registry; the per-field
+//     Results encoding was replaced by the generic metric codec.
+constexpr std::uint32_t wireVersion = 2;
 
 /** Stream magic carried by the hello frame. */
 constexpr char wireMagic[8] = {'T', 'O', 'K', 'S', 'W', 'E', 'E', 'P'};
@@ -143,7 +145,23 @@ SystemConfig decodeSystemConfig(WireReader &r);
 void encodeExperimentSpec(WireWriter &w, const ExperimentSpec &spec);
 ExperimentSpec decodeExperimentSpec(WireReader &r);
 
-/** Lossless: every counter and double round-trips bit-exactly. */
+/** A corrupt metric count must not OOM the decoder. */
+constexpr std::uint64_t maxWireMetrics = 1 << 16;
+
+/**
+ * Generic metric-registry codec: one encoder/decoder pair covers
+ * every metric kind, so a metric added in System::results() ships
+ * with no wire change. Per metric: name, kind byte, pinned flag, then
+ * a kind-specific payload (counter value / RunningStat snapshot /
+ * occupied histogram buckets in strictly ascending order). Lossless:
+ * every counter and double round-trips bit-exactly. The decoder
+ * rejects empty or duplicate names, unknown kind bytes, out-of-order
+ * or out-of-range histogram buckets, and zero bucket counts.
+ */
+void encodeMetrics(WireWriter &w, const MetricRegistry &metrics);
+MetricRegistry decodeMetrics(WireReader &r);
+
+/** Results are their metric registry on the wire. */
 void encodeResults(WireWriter &w, const System::Results &res);
 System::Results decodeResults(WireReader &r);
 

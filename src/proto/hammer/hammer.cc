@@ -249,6 +249,8 @@ HammerCache::maybeComplete(Addr addr)
     ++stats_.missesCompleted;
     stats_.missLatency.add(
         static_cast<double>(ctx_.now() - done.issuedAt));
+    stats_.missLatencyHist.add(
+        static_cast<double>(ctx_.now() - done.issuedAt));
     if (resp.cacheToCache)
         ++stats_.cacheToCache;
     ++stats_.missesNotReissued;

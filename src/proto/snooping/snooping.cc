@@ -305,6 +305,8 @@ SnoopCache::completeTrans(Addr addr)
     ++stats_.missesCompleted;
     stats_.missLatency.add(
         static_cast<double>(ctx_.now() - tr.issuedAt));
+    stats_.missLatencyHist.add(
+        static_cast<double>(ctx_.now() - tr.issuedAt));
     if (resp.cacheToCache)
         ++stats_.cacheToCache;
     ++stats_.missesNotReissued;   // snooping never reissues

@@ -79,6 +79,7 @@ struct CacheCtrlStats
     std::uint64_t cacheToCache = 0;  ///< misses served by a remote cache
     std::uint64_t evictions = 0;
     RunningStat missLatency;         ///< ticks per completed miss
+    LogHistogram missLatencyHist;    ///< same samples, log2 buckets
 
     // Token Coherence only (Table 2 inputs).
     std::uint64_t missesNotReissued = 0;

@@ -1,0 +1,135 @@
+#include "sim/metrics.hh"
+
+#include <stdexcept>
+
+namespace tokensim {
+
+bool
+Metric::operator==(const Metric &o) const
+{
+    if (name != o.name || kind != o.kind || pinned != o.pinned)
+        return false;
+    switch (kind) {
+      case MetricKind::counter:
+        return value == o.value;
+      case MetricKind::stat:
+        return stat == o.stat;
+      case MetricKind::histogram:
+        return hist == o.hist;
+    }
+    return false;
+}
+
+Metric &
+MetricRegistry::addMetric(const std::string &name, MetricKind kind,
+                          bool pinned)
+{
+    if (name.empty())
+        throw std::invalid_argument("metric name must not be empty");
+    if (find(name)) {
+        throw std::invalid_argument("duplicate metric name: " + name);
+    }
+    Metric m;
+    m.name = name;
+    m.kind = kind;
+    m.pinned = pinned;
+    metrics_.push_back(std::move(m));
+    return metrics_.back();
+}
+
+void
+MetricRegistry::addCounter(const std::string &name, bool pinned,
+                           std::uint64_t value)
+{
+    addMetric(name, MetricKind::counter, pinned).value = value;
+}
+
+void
+MetricRegistry::addStat(const std::string &name, bool pinned,
+                        const RunningStat &stat)
+{
+    addMetric(name, MetricKind::stat, pinned).stat = stat;
+}
+
+void
+MetricRegistry::addHistogram(const std::string &name, bool pinned,
+                             const LogHistogram &hist)
+{
+    addMetric(name, MetricKind::histogram, pinned).hist = hist;
+}
+
+const Metric *
+MetricRegistry::find(const std::string &name) const
+{
+    for (const Metric &m : metrics_) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    const Metric *m = find(name);
+    return m && m->kind == MetricKind::counter ? m->value : 0;
+}
+
+RunningStat
+MetricRegistry::statValue(const std::string &name) const
+{
+    const Metric *m = find(name);
+    return m && m->kind == MetricKind::stat ? m->stat : RunningStat{};
+}
+
+const LogHistogram *
+MetricRegistry::histogram(const std::string &name) const
+{
+    const Metric *m = find(name);
+    return m && m->kind == MetricKind::histogram ? &m->hist : nullptr;
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &o)
+{
+    for (const Metric &om : o.metrics_) {
+        Metric *mine = nullptr;
+        for (Metric &m : metrics_) {
+            if (m.name == om.name) {
+                mine = &m;
+                break;
+            }
+        }
+        if (!mine) {
+            metrics_.push_back(om);
+            continue;
+        }
+        if (mine->kind != om.kind) {
+            throw std::logic_error("metric kind mismatch merging " +
+                                   om.name);
+        }
+        if (mine->pinned != om.pinned) {
+            throw std::logic_error(
+                "metric pinned flag mismatch merging " + om.name);
+        }
+        switch (mine->kind) {
+          case MetricKind::counter:
+            mine->value += om.value;
+            break;
+          case MetricKind::stat:
+            mine->stat.combine(om.stat);
+            break;
+          case MetricKind::histogram:
+            mine->hist.merge(om.hist);
+            break;
+        }
+    }
+}
+
+bool
+MetricRegistry::operator==(const MetricRegistry &o) const
+{
+    return metrics_ == o.metrics_;
+}
+
+} // namespace tokensim

@@ -56,6 +56,18 @@ ticksToNsF(Tick t)
 }
 
 /**
+ * Convert a *fractional* tick count to nanoseconds. Statistical means
+ * of tick-valued samples are not whole ticks; routing them through the
+ * Tick overload would silently truncate (that truncation quantized the
+ * reported average miss latency to 0.1 ns steps until PR 6).
+ */
+constexpr double
+ticksToNsF(double t)
+{
+    return t / static_cast<double>(ticksPerNs);
+}
+
+/**
  * Integer log2 for power-of-two values (block sizes, set counts).
  * Returns the floor of log2(v); v must be non-zero.
  */

@@ -117,7 +117,7 @@ TEST(TokenM, UsesLessRequestTrafficThanTokenB)
         std::string err;
         EXPECT_TRUE(!sys.auditor() || sys.auditor()->auditAll(&err))
             << err;
-        const auto &t = sys.results().traffic;
+        const auto &t = sys.net().traffic();
         return t.byteLinksOf(MsgClass::request) +
             t.byteLinksOf(MsgClass::reissue);
     };
@@ -143,7 +143,7 @@ TEST(TokenD, UsesLessRequestTrafficThanTokenM)
         cfg.seed = 6;
         System sys(cfg);
         sys.run();
-        const auto &t = sys.results().traffic;
+        const auto &t = sys.net().traffic();
         return t.byteLinksOf(MsgClass::request);
     };
     EXPECT_LT(request_traffic(ProtocolKind::tokenD),
@@ -217,7 +217,7 @@ TEST(TokenA, AdaptiveUsesLessTrafficThanTokenBWhenStarved)
         cfg.seed = 9;
         System sys(cfg);
         sys.run();
-        return sys.results().traffic.totalByteLinks();
+        return sys.results().totalLinkBytes();
     };
     EXPECT_LT(traffic(ProtocolKind::tokenA),
               traffic(ProtocolKind::tokenB));

@@ -161,7 +161,10 @@ TEST(Types, TickConversions)
 {
     EXPECT_EQ(nsToTicks(15), 150u);
     EXPECT_EQ(ticksToNs(150), 15u);
-    EXPECT_DOUBLE_EQ(ticksToNsF(25), 2.5);
+    EXPECT_DOUBLE_EQ(ticksToNsF(Tick{25}), 2.5);
+    // The double overload preserves fractional ticks (a pooled
+    // latency mean is rarely integral).
+    EXPECT_DOUBLE_EQ(ticksToNsF(3.5), 0.35);
     EXPECT_EQ(nsToTicks(0), 0u);
 }
 

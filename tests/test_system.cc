@@ -46,19 +46,26 @@ TEST_P(SystemCombo, RunsToCompletionWithSaneResults)
     sys.run();
     const System::Results r = sys.results();
 
-    EXPECT_EQ(r.ops, cfg.opsPerProcessor *
-                         static_cast<std::uint64_t>(cfg.numNodes));
-    EXPECT_GT(r.transactions, 0u);
-    EXPECT_GT(r.runtimeTicks, 0u);
-    EXPECT_GT(r.misses, 0u);
-    EXPECT_GT(r.traffic.totalByteLinks(), 0u);
+    EXPECT_EQ(r.ops(), cfg.opsPerProcessor *
+                           static_cast<std::uint64_t>(cfg.numNodes));
+    EXPECT_GT(r.transactions(), 0u);
+    EXPECT_GT(r.runtimeTicks(), 0u);
+    EXPECT_GT(r.misses(), 0u);
+    EXPECT_GT(r.totalLinkBytes(), 0u);
     EXPECT_GT(r.cyclesPerTransaction(), 0.0);
     // Reissue buckets partition misses.
-    EXPECT_EQ(r.misses, r.missesNotReissued + r.missesReissuedOnce +
-                            r.missesReissuedMore + r.missesPersistent);
+    EXPECT_EQ(r.misses(),
+              r.missesNotReissued() + r.missesReissuedOnce() +
+                  r.missesReissuedMore() + r.missesPersistent());
+    // The miss-latency stat and histogram see every completed miss.
+    EXPECT_EQ(r.missLatency().count(), r.misses());
+    const LogHistogram *hist =
+        r.metrics.histogram("miss_latency_hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->total(), r.misses());
     if (!isTokenProtocol(proto)) {
-        EXPECT_EQ(r.missesReissuedOnce, 0u);
-        EXPECT_EQ(r.missesPersistent, 0u);
+        EXPECT_EQ(r.missesReissuedOnce(), 0u);
+        EXPECT_EQ(r.missesPersistent(), 0u);
     }
     if (sys.auditor()) {
         std::string err;
@@ -107,11 +114,14 @@ TEST(SystemDeterminism, SameSeedSameResult)
         System a(cfg), b(cfg);
         a.run();
         b.run();
-        EXPECT_EQ(a.results().runtimeTicks, b.results().runtimeTicks)
+        EXPECT_EQ(a.results().runtimeTicks(),
+                  b.results().runtimeTicks())
             << protocolName(proto);
-        EXPECT_EQ(a.results().traffic.totalByteLinks(),
-                  b.results().traffic.totalByteLinks());
-        EXPECT_EQ(a.results().misses, b.results().misses);
+        EXPECT_EQ(a.results().totalLinkBytes(),
+                  b.results().totalLinkBytes());
+        EXPECT_EQ(a.results().misses(), b.results().misses());
+        EXPECT_TRUE(a.results().metrics == b.results().metrics)
+            << protocolName(proto);
     }
 }
 
@@ -125,7 +135,7 @@ TEST(SystemDeterminism, DifferentSeedDifferentInterleaving)
     System b(cfg);
     a.run();
     b.run();
-    EXPECT_NE(a.results().runtimeTicks, b.results().runtimeTicks);
+    EXPECT_NE(a.results().runtimeTicks(), b.results().runtimeTicks());
 }
 
 TEST(SystemShape, TokenBBeatsDirectoryOnCacheToCacheWorkload)
@@ -142,8 +152,8 @@ TEST(SystemShape, TokenBBeatsDirectoryOnCacheToCacheWorkload)
     cfg.attachAuditor = false;
     System dir(cfg);
     dir.run();
-    EXPECT_LT(token.results().runtimeTicks,
-              dir.results().runtimeTicks);
+    EXPECT_LT(token.results().runtimeTicks(),
+              dir.results().runtimeTicks());
 }
 
 TEST(SystemShape, DirectoryUsesLessTrafficThanTokenB)
@@ -188,8 +198,8 @@ TEST(SystemShape, ReissuesAreRareOnCommercialWorkloads)
     sys.run();
     const System::Results r = sys.results();
     const double not_reissued =
-        static_cast<double>(r.missesNotReissued) /
-        static_cast<double>(r.misses);
+        static_cast<double>(r.missesNotReissued()) /
+        static_cast<double>(r.misses());
     EXPECT_GT(not_reissued, 0.90);
 }
 

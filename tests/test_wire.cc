@@ -142,77 +142,57 @@ expectSameConfig(const SystemConfig &a, const SystemConfig &b)
     EXPECT_EQ(a.maxTicks, b.maxTicks);
 }
 
-/** System::Results with every field set to a distinctive value. */
+/**
+ * A registry-backed Results exercising every metric kind, including
+ * adversarial payloads: extreme counters, a stat whose doubles are
+ * NaN / -0.0 / +-infinity (the codec ships raw bit patterns, so they
+ * must survive), empty stats and histograms, and a histogram touching
+ * bucket 0 and the overflow bucket.
+ */
 System::Results
 exhaustiveResults()
 {
     System::Results r;
-    r.runtimeTicks = 111111;
-    r.ops = 22222;
-    r.transactions = 3333;
-    r.l1Hits = 44444;
-    r.l2Accesses = 5555;
-    r.l2Hits = 666;
-    r.misses = 777;
-    r.cacheToCache = 88;
-    r.avgMissLatencyTicks = 123.4375;
-    r.missesNotReissued = 700;
-    r.missesReissuedOnce = 50;
-    r.missesReissuedMore = 20;
-    r.missesPersistent = 7;
-    r.eventsScheduled = 999999;
-    r.eventsDispatched = 888888;
-    r.timersCancelled = 77777;
-    for (std::size_t c = 0; c < numMsgClasses; ++c) {
-        r.traffic.byClass[c].messages = 1000 + c;
-        r.traffic.byClass[c].byteLinks = 2000 + 10 * c;
-    }
-    for (std::size_t t = 0; t < numMsgTypes; ++t)
-        r.traffic.messagesByType[t] = 3000 + t;
-    r.traffic.deliveries = 31337;
-    r.traffic.latency.add(10.5);
-    r.traffic.latency.add(-2.25);
-    r.traffic.latency.add(400.125);
+    MetricRegistry &m = r.metrics;
+    m.addCounter("ops", metricPinned, 22222);
+    m.addCounter("misses", metricPinned, 777);
+    m.addCounter("runtime_ticks", metricDiagnostic, 111111);
+    m.addCounter("huge", metricDiagnostic,
+                 std::numeric_limits<std::uint64_t>::max());
+
+    RunningStat lat;
+    lat.add(10.5);
+    lat.add(-2.25);
+    lat.add(400.125);
+    m.addStat("miss_latency_ticks", metricPinned, lat);
+
+    RunningStat::Snapshot weird;
+    weird.count = 3;
+    weird.mean = -0.0;
+    weird.m2 = std::nan("");
+    weird.min = -std::numeric_limits<double>::infinity();
+    weird.max = std::numeric_limits<double>::infinity();
+    m.addStat("weird_stat", metricDiagnostic,
+              RunningStat::fromSnapshot(weird));
+    m.addStat("empty_stat", metricDiagnostic, RunningStat{});
+
+    LogHistogram h;
+    h.add(0.5);                              // bucket 0
+    h.add(3.0);                              // bucket 2
+    h.addCount(LogHistogram::kMaxBucket, 7); // overflow bucket
+    m.addHistogram("miss_latency_hist", metricDiagnostic, h);
+    m.addHistogram("empty_hist", metricDiagnostic, LogHistogram{});
     return r;
 }
 
 void
 expectSameResults(const System::Results &a, const System::Results &b)
 {
-    EXPECT_EQ(a.runtimeTicks, b.runtimeTicks);
-    EXPECT_EQ(a.ops, b.ops);
-    EXPECT_EQ(a.transactions, b.transactions);
-    EXPECT_EQ(a.l1Hits, b.l1Hits);
-    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
-    EXPECT_EQ(a.l2Hits, b.l2Hits);
-    EXPECT_EQ(a.misses, b.misses);
-    EXPECT_EQ(a.cacheToCache, b.cacheToCache);
-    expectSameBits(a.avgMissLatencyTicks, b.avgMissLatencyTicks,
-                   "avg miss latency");
-    EXPECT_EQ(a.missesNotReissued, b.missesNotReissued);
-    EXPECT_EQ(a.missesReissuedOnce, b.missesReissuedOnce);
-    EXPECT_EQ(a.missesReissuedMore, b.missesReissuedMore);
-    EXPECT_EQ(a.missesPersistent, b.missesPersistent);
-    EXPECT_EQ(a.eventsScheduled, b.eventsScheduled);
-    EXPECT_EQ(a.eventsDispatched, b.eventsDispatched);
-    EXPECT_EQ(a.timersCancelled, b.timersCancelled);
-    for (std::size_t c = 0; c < numMsgClasses; ++c) {
-        EXPECT_EQ(a.traffic.byClass[c].messages,
-                  b.traffic.byClass[c].messages);
-        EXPECT_EQ(a.traffic.byClass[c].byteLinks,
-                  b.traffic.byClass[c].byteLinks);
-    }
-    for (std::size_t t = 0; t < numMsgTypes; ++t)
-        EXPECT_EQ(a.traffic.messagesByType[t],
-                  b.traffic.messagesByType[t]);
-    EXPECT_EQ(a.traffic.deliveries, b.traffic.deliveries);
-    const RunningStat::Snapshot sa = a.traffic.latency.snapshot();
-    const RunningStat::Snapshot sb = b.traffic.latency.snapshot();
-    EXPECT_EQ(sa.count, sb.count);
-    expectSameBits(sa.mean, sb.mean, "latency mean");
-    expectSameBits(sa.m2, sb.m2, "latency m2");
-    expectSameBits(sa.min, sb.min, "latency min");
-    expectSameBits(sa.max, sb.max, "latency max");
+    // MetricRegistry equality is bit-exact on every payload (stat
+    // doubles compare as IEEE-754 bit patterns, so NaN == NaN and
+    // -0.0 != +0.0) and order-sensitive.
+    EXPECT_EQ(a.metrics.size(), b.metrics.size());
+    EXPECT_TRUE(a.metrics == b.metrics);
 }
 
 // ---------------------------------------------------------------------
@@ -399,8 +379,8 @@ TEST(WireStructs, ResultsRoundTripBitExactly)
 
 TEST(WireStructs, EmptyResultsRoundTrip)
 {
-    // A default Results has an empty RunningStat whose min/max are
-    // the +/-infinity sentinels — they must survive the wire.
+    // A default Results is an empty metric registry: zero metrics,
+    // just the count varint and the end-of-struct sentinel.
     WireWriter w;
     encodeResults(w, System::Results{});
     WireReader r(w.buffer());
@@ -459,36 +439,43 @@ TEST(WireStructs, ProtocolByteOutOfRangeIsATypedError)
     EXPECT_THROW(decodeSystemConfig(r), WireError);
 }
 
-TEST(WireStructs, MessageClassCountMismatchIsATypedError)
+TEST(WireStructs, DuplicateMetricNameOnWireIsATypedError)
+{
+    // A registry can never legitimately hold two metrics with one
+    // name (addCounter throws), so a duplicate on the wire means a
+    // corrupted or malicious peer — decode must refuse, not clobber.
+    WireWriter w;
+    w.varint(2);
+    for (int i = 0; i < 2; ++i) {
+        w.str("twice");
+        w.u8(0);           // kind: counter
+        w.boolean(false);
+        w.varint(5);
+    }
+    WireReader r(w.buffer());
+    EXPECT_THROW(decodeMetrics(r), WireError);
+}
+
+TEST(WireStructs, MetricKindByteOutOfRangeIsATypedError)
 {
     WireWriter w;
-    encodeResults(w, System::Results{});
-    std::string buf = w.take();
-    // Find the class-count byte (value numMsgClasses, < 128 so one
-    // byte) and bump it: the decoder must refuse rather than shift
-    // every subsequent field.
-    WireReader probe(buf);
-    System::Results scratch;   // fully decodes; now locate the count:
-    scratch = decodeResults(probe);
-    // Re-encode with a corrupted count by surgically rebuilding: the
-    // count sits right after 16 fixed counters (all varints) and one
-    // f64. Rather than hand-compute the offset, corrupt by search:
-    // the default Results encodes class count numMsgClasses followed
-    // by 2*numMsgClasses zero varints — find that signature.
-    std::string needle;
-    {
-        WireWriter n;
-        n.varint(numMsgClasses);
-        for (std::size_t i = 0; i < 2 * numMsgClasses; ++i)
-            n.varint(0);
-        n.varint(numMsgTypes);
-        needle = n.take();
-    }
-    const std::size_t at = buf.find(needle);
-    ASSERT_NE(at, std::string::npos);
-    buf[at] = static_cast<char>(numMsgClasses + 1);
-    WireReader r(buf);
-    EXPECT_THROW(decodeResults(r), WireError);
+    w.varint(1);
+    w.str("m");
+    w.u8(7);               // no such MetricKind
+    w.boolean(true);
+    w.varint(1);
+    WireReader r(w.buffer());
+    EXPECT_THROW(decodeMetrics(r), WireError);
+}
+
+TEST(WireStructs, MetricCountOverCapIsATypedError)
+{
+    // A count claiming 2^16+1 metrics must be rejected up front, not
+    // looped over toward OOM.
+    WireWriter w;
+    w.varint(maxWireMetrics + 1);
+    WireReader r(w.buffer());
+    EXPECT_THROW(decodeMetrics(r), WireError);
 }
 
 TEST(WireStructs, LayoutSkewIsReportedAsVersionMismatch)
