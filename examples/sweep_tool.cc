@@ -37,10 +37,22 @@
  *   --threads N        ParallelRunner threads when workers = 0
  *   --serial           serial runExperiment loop (the oracle)
  *   --fork-workers     fork-only workers instead of exec'ing self
- *   --progress         stream shard/partial-aggregate lines (stderr)
+ *   --checkpoint PATH  crash-safe checkpoint: append each completed
+ *                      shard to PATH; rerunning the same sweep with
+ *                      the same PATH resumes instead of recomputing
+ *                      (requires --workers >= 1)
+ *   --retries N        max reassignments of one shard after worker
+ *                      failures (default 2)
+ *   --shard-timeout MS per-shard hang deadline in ms; 0 = auto (10x
+ *                      slowest completed shard, >= 10 s), -1 = off
+ *                      (default 0)
+ *   --progress         stream shard/partial-aggregate lines (stderr;
+ *                      checkpoint and worker-lifecycle lines print
+ *                      regardless)
  *   --stats            print a summary table after the run (stderr)
  *   --metrics          dump every named metric of every design
  *                      point's merged registry (stderr)
+ *   --help             print option summary with defaults
  */
 
 #include <cstdio>
@@ -114,10 +126,62 @@ struct Options
     int threads = 0;
     bool serial = false;
     bool forkWorkers = false;
+    std::string checkpoint;
+    int retries = 2;
+    long shardTimeoutMs = 0;
     bool progress = false;
     bool stats = false;
     bool metrics = false;
+    bool help = false;
 };
+
+/** Option summary (--help / bad usage), with the live defaults. */
+void
+printHelp(const char *argv0)
+{
+    const Options d;
+    std::fprintf(
+        stderr,
+        "usage: %s run [options]\n"
+        "       %s worker\n"
+        "\n"
+        "run options:\n"
+        "  --protocols a,b,c   comma list (default tokenb,snooping)\n"
+        "  --workloads a,b     presets or trace:PATH (default oltp)\n"
+        "  --topology T        torus|tree (default: tree for "
+        "snooping, else torus)\n"
+        "  --nodes N           processors per system (default %d)\n"
+        "  --ops N             measured ops/processor (default "
+        "%llu)\n"
+        "  --warmup N          warmup ops/processor (default %llu)\n"
+        "  --seeds N           seeds per design point (default %d)\n"
+        "  --seed S            base seed (default %llu)\n"
+        "  --workers N         worker subprocesses (default: "
+        "TOKENSIM_WORKERS, else 0 = in-process threads)\n"
+        "  --threads N         ParallelRunner threads when workers "
+        "= 0 (default: hardware)\n"
+        "  --serial            serial oracle loop\n"
+        "  --fork-workers      fork-only workers instead of exec'ing "
+        "self\n"
+        "  --checkpoint PATH   append completed shards to PATH; "
+        "rerun with the same\n"
+        "                      PATH to resume after a crash "
+        "(requires --workers >= 1)\n"
+        "  --retries N         max reassignments of one shard after "
+        "worker failures (default %d)\n"
+        "  --shard-timeout MS  per-shard hang deadline; 0 = auto "
+        "(10x slowest shard,\n"
+        "                      >= 10 s), -1 = off (default %ld)\n"
+        "  --progress          stream per-shard progress to stderr\n"
+        "  --stats             summary table after the run (stderr)\n"
+        "  --metrics           dump merged metric registries "
+        "(stderr)\n",
+        argv0, argv0, d.nodes,
+        static_cast<unsigned long long>(d.ops),
+        static_cast<unsigned long long>(d.warmup), d.seeds,
+        static_cast<unsigned long long>(d.seed), d.retries,
+        d.shardTimeoutMs);
+}
 
 Options
 parseOptions(int argc, char **argv, int first)
@@ -158,6 +222,14 @@ parseOptions(int argc, char **argv, int first)
             o.serial = true;
         else if (a == "--fork-workers")
             o.forkWorkers = true;
+        else if (a == "--checkpoint")
+            o.checkpoint = value();
+        else if (a == "--retries")
+            o.retries = static_cast<int>(std::stol(value()));
+        else if (a == "--shard-timeout")
+            o.shardTimeoutMs = std::stol(value());
+        else if (a == "--help")
+            o.help = true;
         else if (a == "--progress")
             o.progress = true;
         else if (a == "--stats")
@@ -262,6 +334,12 @@ runSweep(const Options &o)
 {
     const std::vector<ExperimentSpec> specs = buildMatrix(o);
 
+    if (!o.checkpoint.empty() && (o.serial || o.workers < 1)) {
+        throw std::invalid_argument(
+            "--checkpoint requires --workers >= 1 (checkpointing "
+            "lives in the process-sharded runner)");
+    }
+
     std::vector<ExperimentResult> results;
     if (o.serial) {
         std::fprintf(stderr, "sweep: %zu design points x %d seeds, "
@@ -273,6 +351,9 @@ runSweep(const Options &o)
     } else if (o.workers >= 1) {
         DistRunnerOptions d;
         d.workers = o.workers;
+        d.maxShardRetries = o.retries;
+        d.shardTimeoutMs = o.shardTimeoutMs;
+        d.checkpointPath = o.checkpoint;
         if (!o.forkWorkers) {
             const std::string self = selfExe();
             if (!self.empty())
@@ -280,11 +361,16 @@ runSweep(const Options &o)
             // readlink failed (no /proc?): fall back to forked
             // in-process workers — same protocol, same results.
         }
-        if (o.progress) {
-            d.progress = [](const std::string &line) {
+        // Checkpoint and worker-lifecycle events (restore counts,
+        // hang kills, respawns, degradation) are operationally
+        // significant, so they print even without --progress; the
+        // chatty per-shard lines stay opt-in.
+        const bool verbose = o.progress;
+        d.progress = [verbose](const std::string &line) {
+            if (verbose || line.rfind("checkpoint", 0) == 0 ||
+                line.rfind("worker", 0) == 0)
                 std::fprintf(stderr, "sweep: %s\n", line.c_str());
-            };
-        }
+        };
         std::fprintf(stderr, "sweep: %zu design points x %d seeds "
                              "across %d worker processes (%s)\n",
                      specs.size(), o.seeds, d.workers,
@@ -324,10 +410,7 @@ runSweep(const Options &o)
 int
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s run [options]   (see file header)\n"
-                 "       %s worker\n",
-                 argv0, argv0);
+    printHelp(argv0);
     return 64;
 }
 
@@ -340,10 +423,20 @@ main(int argc, char **argv)
         return usage(argv[0]);
     const std::string mode = argv[1];
     try {
+        if (mode == "--help" || mode == "-h" || mode == "help") {
+            printHelp(argv[0]);
+            return 0;
+        }
         if (mode == "worker")
             return runDistWorker(0, 1);
-        if (mode == "run")
-            return runSweep(parseOptions(argc, argv, 2));
+        if (mode == "run") {
+            const Options o = parseOptions(argc, argv, 2);
+            if (o.help) {
+                printHelp(argv[0]);
+                return 0;
+            }
+            return runSweep(o);
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "sweep_tool: %s\n", e.what());
         return 1;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +14,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -52,7 +55,36 @@ struct WorkerProc
     bool alive = false;
     bool helloSeen = false;
     long shard = -1;         ///< outstanding shard index, -1 if idle
+    int slot = 0;            ///< stable pool index (survives respawn)
+    long long assignMs = 0;  ///< when the outstanding shard was sent
 };
+
+/** Monotonic milliseconds, for shard deadlines. */
+long long
+monoMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Slurp an fd from its current offset to EOF. */
+std::string
+readAll(int fd)
+{
+    std::string data;
+    char chunk[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            data.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return data;
+    }
+}
 
 /**
  * A dead worker's write end raises SIGPIPE in the parent; we want the
@@ -212,9 +244,11 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
     std::vector<std::vector<System::Results>> raw(specs.size());
     std::vector<ExperimentResult> out(specs.size());
     std::vector<std::size_t> remainingSeeds(specs.size());
+    std::vector<std::size_t> shardBase(specs.size(), 0);
     std::vector<char> specErrored(specs.size(), 0);
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const int seeds = std::max(specs[i].seeds, 0);
+        shardBase[i] = shards.size();
         raw[i].resize(static_cast<std::size_t>(seeds));
         remainingSeeds[i] = static_cast<std::size_t>(seeds);
         for (int s = 0; s < seeds; ++s)
@@ -233,26 +267,23 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
     SigpipeIgnore sigpipe_guard;
     std::vector<int> parentFds;
     std::vector<WorkerProc> pool;
-    const std::size_t nworkers = std::min<std::size_t>(
-        static_cast<std::size_t>(workers_), shards.size());
 
     std::deque<std::size_t> pending;
-    for (std::size_t k = 0; k < shards.size(); ++k)
-        pending.push_back(k);
     std::vector<int> retries(shards.size(), 0);
     std::size_t resolved = 0;
     std::exception_ptr firstError;
 
     // Incremental fold: a shard's raw results drop into the grid the
-    // moment its reply arrives, and a design point aggregates (and
-    // streams its partial line) as soon as its last seed lands — the
-    // aggregate only ever reads the grid in seed order, so computing
-    // it early is bit-identical to computing it at the end.
-    const auto resolveShard = [&](std::size_t sh) {
+    // moment its reply arrives (or is restored from the checkpoint),
+    // and a design point aggregates (and streams its partial line) as
+    // soon as its last seed lands — the aggregate only ever reads the
+    // grid in seed order, so computing it early is bit-identical to
+    // computing it at the end.
+    const auto resolveShard = [&](std::size_t sh, const char *how) {
         ++resolved;
         const std::size_t spec = shards[sh].spec;
-        emit(strformat("shard %zu/%zu done (spec %zu \"%s\" seed %d)",
-                       resolved, shards.size(), spec,
+        emit(strformat("shard %zu/%zu %s (spec %zu \"%s\" seed %d)",
+                       resolved, shards.size(), how, spec,
                        specs[spec].label.c_str(), shards[sh].seed));
         if (--remainingSeeds[spec] == 0 && !specErrored[spec]) {
             out[spec] = aggregateResults(raw[spec], specs[spec].label);
@@ -262,6 +293,174 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
         }
     };
 
+    // ----- Checkpoint: restore completed shards, open for append ---
+    int ckptFd = -1;
+    struct FdGuard
+    {
+        int &fd;
+        ~FdGuard()
+        {
+            if (fd >= 0)
+                ::close(fd);
+        }
+    } ckptGuard{ckptFd};
+
+    std::vector<char> restored(shards.size(), 0);
+    if (!opts_.checkpointPath.empty()) {
+        const std::string &path = opts_.checkpointPath;
+        const std::uint64_t fp = sweepFingerprint(specs);
+        ckptFd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+        if (ckptFd >= 0) {
+            // Resume. Header first (bad magic/version is fatal, and a
+            // foreign sweep's fingerprint must never merge), then
+            // records until the first torn or corrupt one — an
+            // append-only writer can only damage the tail, so
+            // everything before it is trusted and everything from it
+            // on is dropped and re-run.
+            const std::string data = readAll(ckptFd);
+            std::size_t pos = 0;
+            const CheckpointHeader hdr =
+                decodeCheckpointHeader(data, pos);
+            if (hdr.fingerprint != fp) {
+                throw CheckpointMismatch(strformat(
+                    "%s was recorded for a different sweep "
+                    "(fingerprint %016llx, this sweep is %016llx): "
+                    "its specs, seed counts, or wire format differ",
+                    path.c_str(),
+                    static_cast<unsigned long long>(hdr.fingerprint),
+                    static_cast<unsigned long long>(fp)));
+            }
+            std::size_t validEnd = pos;
+            std::size_t nrestored = 0;
+            CheckpointRecord rec;
+            try {
+                while (tryExtractCheckpointRecord(data, pos, rec)) {
+                    if (rec.spec >= specs.size() ||
+                        rec.seed >= raw[rec.spec].size()) {
+                        throw WireError(
+                            "checkpoint shard key out of range");
+                    }
+                    validEnd = pos;
+                    const std::size_t sh =
+                        shardBase[rec.spec] +
+                        static_cast<std::size_t>(rec.seed);
+                    if (!restored[sh]) {
+                        raw[rec.spec][rec.seed] =
+                            std::move(rec.results);
+                        restored[sh] = 1;
+                        ++nrestored;
+                    }
+                }
+            } catch (const WireError &) {
+                // A complete-but-corrupt trailing record gets the
+                // same treatment as an incomplete one: torn tail.
+            }
+            const std::size_t dropped = data.size() - validEnd;
+            if (dropped) {
+                // Truncate the torn tail on disk too — records
+                // appended after it would be unreachable to the next
+                // resume.
+                (void)::ftruncate(ckptFd,
+                                  static_cast<off_t>(validEnd));
+            }
+            ::lseek(ckptFd, static_cast<off_t>(validEnd), SEEK_SET);
+            std::string tail;
+            if (dropped) {
+                tail = strformat(" (dropped a %zu-byte torn tail)",
+                                 dropped);
+            }
+            emit(strformat("checkpoint: restored %zu/%zu shards "
+                           "from %s%s",
+                           nrestored, shards.size(), path.c_str(),
+                           tail.c_str()));
+        } else {
+            // Fresh checkpoint: the header appears atomically via
+            // write + fsync + rename, so a run killed here never
+            // leaves a headerless file behind.
+            const std::string tmp = path + ".tmp";
+            ckptFd = ::open(tmp.c_str(),
+                            O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                            0644);
+            if (ckptFd < 0) {
+                throw std::runtime_error(
+                    "DistRunner: cannot create checkpoint " + tmp +
+                    ": " + std::strerror(errno));
+            }
+            if (!writeAll(ckptFd,
+                          encodeCheckpointHeader(fp, shards.size())) ||
+                ::fsync(ckptFd) != 0 ||
+                ::rename(tmp.c_str(), path.c_str()) != 0) {
+                throw std::runtime_error(
+                    "DistRunner: cannot initialize checkpoint " +
+                    path + ": " + std::strerror(errno));
+            }
+            emit(strformat("checkpoint: recording %zu shards to %s",
+                           shards.size(), path.c_str()));
+        }
+        // Forked children must close the checkpoint fd like any other
+        // parent-side fd (exec'd ones drop it via O_CLOEXEC).
+        parentFds.push_back(ckptFd);
+    }
+
+    const auto ckptAppend = [&](std::size_t sh,
+                                const System::Results &res) {
+        if (ckptFd < 0)
+            return;
+        const Shard &s = shards[sh];
+        if (!writeAll(ckptFd,
+                      encodeCheckpointRecord(
+                          s.spec,
+                          static_cast<std::uint64_t>(s.seed), res))) {
+            // A full disk must not kill a sweep that would otherwise
+            // finish: drop checkpointing, keep computing.
+            emit(strformat("checkpoint: write to %s failed (%s); "
+                           "further shards will not be checkpointed",
+                           opts_.checkpointPath.c_str(),
+                           std::strerror(errno)));
+            parentFds.erase(std::remove(parentFds.begin(),
+                                        parentFds.end(), ckptFd),
+                            parentFds.end());
+            ::close(ckptFd);
+            ckptFd = -1;
+        }
+    };
+
+    // Restored shards resolve immediately, in shard order (so the
+    // emitted lines and partial aggregates are deterministic); the
+    // rest form the work queue.
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+        if (restored[k])
+            resolveShard(k, "restored");
+        else
+            pending.push_back(k);
+    }
+    if (pending.empty())
+        return out;   // fully restored: nothing to spawn
+
+    const std::size_t nworkers = std::min<std::size_t>(
+        static_cast<std::size_t>(workers_), pending.size());
+    const int respawnBudget =
+        opts_.maxWorkerRespawns >= 0
+            ? opts_.maxWorkerRespawns
+            : 2 * static_cast<int>(nworkers);
+    int respawnsUsed = 0;
+    int workerDeaths = 0;
+    std::vector<int> spawnGen(nworkers, 0);
+    long maxObservedMs = -1;
+    std::unique_ptr<System> parentArena;   // in-process degradation
+
+    // Fault injection (tests): applies only to forked workers whose
+    // (slot, spawn generation) the fault targets.
+    const auto faultFor = [&](int slot, int gen) -> DistWorkerFault {
+        if (!opts_.workerArgv.empty())
+            return DistWorkerFault{};   // exec'd workers start clean
+        const DistWorkerFault &f = opts_.workerFault;
+        if ((f.worker >= 0 && f.worker != slot) ||
+            (f.spawnGeneration >= 0 && f.spawnGeneration != gen))
+            return DistWorkerFault{};
+        return f;
+    };
+
     // A failed shard goes back to the FRONT of the queue: it is the
     // sweep's oldest outstanding work and downstream consumers wait
     // on whole design points, not individual seeds.
@@ -269,6 +468,11 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
         if (sh < 0)
             return;
         if (++retries[sh] > opts_.maxShardRetries) {
+            // The same shard keeps taking workers down: a shard
+            // poison, not worker flakiness. Surface the first
+            // recorded error if any shard reported one.
+            if (firstError)
+                std::rethrow_exception(firstError);
             const Shard &s = shards[static_cast<std::size_t>(sh)];
             throw std::runtime_error(strformat(
                 "DistRunner: shard (spec \"%s\", seed %d) failed %d "
@@ -282,9 +486,31 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
         if (!w.alive)
             return;
         const long sh = w.shard;
+        const int slot = w.slot;
         w.shard = -1;
         closeAndReap(w, parentFds);
+        ++workerDeaths;
         failShard(sh);
+        // Replace the dead worker while the churn budget lasts: a
+        // sweep should survive flaky workers without shrinking its
+        // parallelism (and tests can fault the replacement too, via
+        // DistWorkerFault::spawnGeneration).
+        if (resolved < shards.size() &&
+            respawnsUsed < respawnBudget) {
+            ++respawnsUsed;
+            const int gen = ++spawnGen[slot];
+            pool[slot] = spawnWorker(opts_.workerArgv,
+                                     faultFor(slot, gen), parentFds);
+            pool[slot].slot = slot;
+            emit(strformat("worker %d died (death %d); respawned "
+                           "(%d/%d respawns used)",
+                           slot, workerDeaths, respawnsUsed,
+                           respawnBudget));
+        } else if (resolved < shards.size()) {
+            emit(strformat(
+                "worker %d died (death %d); respawn budget spent",
+                slot, workerDeaths));
+        }
     };
 
     const auto assignIdle = [&]() {
@@ -302,9 +528,23 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
                             cfg.seed +
                                 static_cast<std::uint64_t>(s.seed)));
             w.shard = static_cast<long>(sh);
+            w.assignMs = monoMs();
             if (!writeAll(w.in, job))
                 workerDied(w);
         }
+    };
+
+    /**
+     * The live per-shard deadline: fixed when configured, derived
+     * from the slowest completed shard in auto mode (no estimate
+     * until the first completion), -1 when detection is off.
+     */
+    const auto currentDeadlineMs = [&]() -> long {
+        if (opts_.shardTimeoutMs > 0)
+            return opts_.shardTimeoutMs;
+        if (opts_.shardTimeoutMs < 0 || maxObservedMs < 0)
+            return -1;
+        return std::max<long>(10000, 10 * maxObservedMs);
     };
 
     /** Decode every complete frame buffered for @p w. Throws
@@ -330,7 +570,11 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
                 raw[s.spec][static_cast<std::size_t>(s.seed)] =
                     rf.results;
                 w.shard = -1;
-                resolveShard(sh);
+                maxObservedMs = std::max<long>(
+                    maxObservedMs,
+                    static_cast<long>(monoMs() - w.assignMs));
+                ckptAppend(sh, rf.results);
+                resolveShard(sh, "done");
                 break;
               }
               case FrameType::error: {
@@ -357,7 +601,7 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
                             ") failed in worker: " + ef.message));
                 }
                 w.shard = -1;
-                resolveShard(sh);
+                resolveShard(sh, "errored");
                 break;
               }
               default:
@@ -417,15 +661,15 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
     };
 
     try {
+        // pool is sized once and workers respawn IN PLACE (same slot)
+        // so the WorkerProc references held across the loop body stay
+        // valid — never push_back after this.
+        pool.reserve(nworkers);
         for (std::size_t k = 0; k < nworkers; ++k) {
-            // Fault injection (tests) applies to worker 0 only, and
-            // only in fork mode — an exec'd worker starts clean.
-            const DistWorkerFault fault =
-                (k == 0 && opts_.workerArgv.empty())
-                    ? opts_.workerFault
-                    : DistWorkerFault{};
-            pool.push_back(
-                spawnWorker(opts_.workerArgv, fault, parentFds));
+            pool.push_back(spawnWorker(
+                opts_.workerArgv,
+                faultFor(static_cast<int>(k), 0), parentFds));
+            pool.back().slot = static_cast<int>(k);
         }
 
         while (resolved < shards.size()) {
@@ -444,15 +688,64 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
                 who.push_back(&w);
             }
             if (fds.empty()) {
-                if (firstError)
-                    std::rethrow_exception(firstError);
-                throw std::runtime_error(
-                    "DistRunner: every worker died with shards "
-                    "still unfinished");
+                // Respawn budget spent and the pool is gone, but the
+                // sweep is not: degrade to in-process execution. The
+                // results are identical by construction — a shard's
+                // outcome depends only on (spec, seed).
+                emit(strformat(
+                    "worker pool exhausted after %d deaths; running "
+                    "%zu remaining shards in-process",
+                    workerDeaths, pending.size()));
+                while (!pending.empty()) {
+                    const std::size_t sh = pending.front();
+                    pending.pop_front();
+                    const Shard &s = shards[sh];
+                    const SystemConfig &cfg = specs[s.spec].cfg;
+                    try {
+                        const System::Results res = runOnceReusing(
+                            parentArena, cfg,
+                            cfg.seed +
+                                static_cast<std::uint64_t>(s.seed));
+                        raw[s.spec]
+                           [static_cast<std::size_t>(s.seed)] = res;
+                        ckptAppend(sh, res);
+                    } catch (const std::exception &e) {
+                        specErrored[s.spec] = 1;
+                        if (!firstError) {
+                            firstError = std::make_exception_ptr(
+                                std::runtime_error(strformat(
+                                    "DistRunner: shard (spec \"%s\", "
+                                    "seed %d) failed in-process: %s",
+                                    specs[s.spec].label.c_str(),
+                                    s.seed, e.what())));
+                        }
+                    }
+                    resolveShard(sh, "done");
+                }
+                break;
             }
 
-            const int rc = ::poll(fds.data(),
-                                  static_cast<nfds_t>(fds.size()), -1);
+            // Poll no longer than the nearest hung-shard deadline.
+            int timeoutMs = -1;
+            const long deadline = currentDeadlineMs();
+            if (deadline > 0) {
+                const long long now = monoMs();
+                long long nearest = LLONG_MAX;
+                for (const WorkerProc *w : who) {
+                    if (w->shard >= 0) {
+                        nearest = std::min(
+                            nearest, w->assignMs + deadline - now);
+                    }
+                }
+                if (nearest != LLONG_MAX) {
+                    timeoutMs = static_cast<int>(std::min<long long>(
+                        std::max<long long>(nearest, 0), INT_MAX));
+                }
+            }
+
+            const int rc =
+                ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                       timeoutMs);
             if (rc < 0) {
                 if (errno == EINTR)
                     continue;
@@ -463,6 +756,28 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
             for (std::size_t i = 0; i < fds.size(); ++i) {
                 if (fds[i].revents)
                     serviceWorker(*who[i]);
+            }
+
+            // Reap hung workers: alive, a shard outstanding, and
+            // silent past the deadline. SIGKILL converts "hung" into
+            // the crash path — reassign + respawn within budget.
+            if (deadline > 0) {
+                const long long now = monoMs();
+                for (WorkerProc &w : pool) {
+                    if (!w.alive || w.shard < 0 ||
+                        now - w.assignMs < deadline)
+                        continue;
+                    const Shard &s =
+                        shards[static_cast<std::size_t>(w.shard)];
+                    emit(strformat(
+                        "worker %d hung on shard (spec \"%s\" seed "
+                        "%d) for %lld ms (deadline %ld ms); killing",
+                        w.slot, specs[s.spec].label.c_str(), s.seed,
+                        static_cast<long long>(now - w.assignMs),
+                        deadline));
+                    ::kill(w.pid, SIGKILL);
+                    workerDied(w);
+                }
             }
         }
 
@@ -574,6 +889,24 @@ runDistWorker(int in_fd, int out_fd, const DistWorkerFault &fault)
         if (fault.truncateAfterShards >= 0 &&
             served == fault.truncateAfterShards) {
             writeAll(out_fd, reply.substr(0, reply.size() / 2));
+            return 3;
+        }
+        if (fault.hangAfterShards >= 0 &&
+            served == fault.hangAfterShards) {
+            // Alive but silent: the shape only a deadline can catch.
+            for (;;)
+                ::pause();
+        }
+        if (fault.partialFrameAfterShards >= 0 &&
+            served == fault.partialFrameAfterShards) {
+            writeAll(out_fd, reply.substr(0, reply.size() / 2));
+            for (;;)
+                ::pause();
+        }
+        if (fault.garbageAfterShards >= 0 &&
+            served == fault.garbageAfterShards) {
+            // 0xee is not a frame type: the parent's decoder throws.
+            writeAll(out_fd, std::string(64, '\xee'));
             return 3;
         }
         if (!writeAll(out_fd, reply))

@@ -665,4 +665,169 @@ decodeErrorPayload(const std::string &payload)
     return ef;
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint layer
+// ---------------------------------------------------------------------
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static const std::uint32_t *table = [] {
+        static std::uint32_t t[256];
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t c = 0xffffffffu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::uint64_t
+sweepFingerprint(const std::vector<ExperimentSpec> &specs)
+{
+    WireWriter w;
+    w.varint(wireVersion);
+    w.varint(specs.size());
+    for (const ExperimentSpec &s : specs)
+        encodeExperimentSpec(w, s);
+
+    std::uint64_t h = 1469598103934665603ull;   // FNV-1a 64 offset
+    for (const char c : w.buffer()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;                  // FNV-1a 64 prime
+    }
+    return h;
+}
+
+std::string
+encodeCheckpointHeader(std::uint64_t fingerprint,
+                       std::uint64_t total_shards)
+{
+    WireWriter w;
+    w.raw(checkpointMagic, sizeof(checkpointMagic));
+    w.varint(wireVersion);
+    // Fixed 8 little-endian bytes: a fingerprint is an opaque bit
+    // pattern, and a fixed width keeps it legible in a hex dump.
+    for (int i = 0; i < 8; ++i)
+        w.u8(static_cast<std::uint8_t>((fingerprint >> (8 * i)) &
+                                       0xff));
+    w.varint(total_shards);
+    return w.take();
+}
+
+CheckpointHeader
+decodeCheckpointHeader(const std::string &buf, std::size_t &pos)
+{
+    WireReader r(buf.data() + pos, buf.size() - pos);
+    CheckpointHeader h;
+    try {
+        char magic[sizeof(checkpointMagic)];
+        r.raw(magic, sizeof(magic), "checkpoint magic");
+        if (std::memcmp(magic, checkpointMagic, sizeof(magic)) != 0) {
+            throw CheckpointError(
+                "not a tokensim sweep checkpoint (bad magic)");
+        }
+        const std::uint64_t ver = r.varint("checkpoint wire version");
+        if (ver != wireVersion) {
+            throw CheckpointError(
+                "written by wire version " + std::to_string(ver) +
+                ", this build speaks " + std::to_string(wireVersion) +
+                " (delete the file to start over)");
+        }
+        std::uint64_t fp = 0;
+        for (int i = 0; i < 8; ++i) {
+            fp |= static_cast<std::uint64_t>(
+                      r.u8("checkpoint fingerprint"))
+                  << (8 * i);
+        }
+        h.fingerprint = fp;
+        h.totalShards = r.varint("checkpoint shard count");
+    } catch (const CheckpointError &) {
+        throw;
+    } catch (const WireError &e) {
+        throw CheckpointError(std::string("corrupt header: ") +
+                              e.what());
+    }
+    pos += r.consumed();
+    return h;
+}
+
+std::string
+encodeCheckpointRecord(std::uint64_t spec, std::uint64_t seed,
+                       const System::Results &res)
+{
+    WireWriter p;
+    p.varint(spec);
+    p.varint(seed);
+    encodeResults(p, res);
+    const std::string &payload = p.buffer();
+    if (payload.size() > maxFramePayload)
+        throw WireError("checkpoint record too large to write");
+
+    WireWriter w;
+    w.varint(payload.size());
+    w.raw(payload.data(), payload.size());
+    const std::uint32_t c = crc32(payload.data(), payload.size());
+    for (int i = 0; i < 4; ++i)
+        w.u8(static_cast<std::uint8_t>((c >> (8 * i)) & 0xff));
+    return w.take();
+}
+
+bool
+tryExtractCheckpointRecord(const std::string &buf, std::size_t &pos,
+                           CheckpointRecord &out)
+{
+    // Length varint by hand, exactly like tryExtractFrame: running
+    // out of buffer mid-varint is an incomplete (torn) record, not an
+    // error; only a varint that can never terminate validly throws.
+    std::uint64_t len = 0;
+    int shift = 0;
+    std::size_t at = pos;
+    for (;;) {
+        if (at >= buf.size())
+            return false;
+        const auto b = static_cast<unsigned char>(buf[at++]);
+        if (shift >= 63 && ((b & 0x7f) > 1 || (b & 0x80))) {
+            throw WireError(
+                "checkpoint record length varint overflows 64 bits");
+        }
+        len |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+    }
+    if (len > maxFramePayload) {
+        throw WireError("checkpoint record length " +
+                        std::to_string(len) + " exceeds the cap");
+    }
+    if (buf.size() - at < len + 4)
+        return false;   // payload or CRC still incomplete: torn tail
+
+    const char *payload = buf.data() + at;
+    const auto plen = static_cast<std::size_t>(len);
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+        stored |= static_cast<std::uint32_t>(static_cast<unsigned char>(
+                      payload[plen + i]))
+                  << (8 * i);
+    }
+    if (crc32(payload, plen) != stored)
+        throw WireError("checkpoint record CRC mismatch");
+
+    WireReader r(payload, plen);
+    out.spec = r.varint("checkpoint record spec index");
+    out.seed = r.varint("checkpoint record seed");
+    out.results = decodeResults(r);
+    r.expectEnd("checkpoint record");
+    pos = at + plen + 4;
+    return true;
+}
+
 } // namespace tokensim

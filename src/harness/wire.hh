@@ -36,6 +36,20 @@
  * end-of-struct sentinel byte so a parent/worker skew inside one
  * version (a stale binary) is caught as a typed error instead of a
  * silent misparse.
+ *
+ * ## Checkpoint layer
+ *
+ * The same encoding doubles as DistRunner's crash-safe on-disk
+ * checkpoint (--checkpoint): a header naming the sweep (magic,
+ * wireVersion, a fingerprint hashed over the encoded spec list) is
+ * written once via write-then-atomic-rename, then one CRC-framed
+ * record — (spec index, seed, raw System::Results) — is appended as
+ * each shard completes. A process killed mid-append leaves at worst a
+ * torn trailing record, which the loader detects (short frame or CRC
+ * mismatch) and drops; everything before it is intact, so a resumed
+ * sweep re-runs only the lost shards and, because a shard's result
+ * depends only on (spec, seed), merges bit-identically to an
+ * uninterrupted run.
  */
 
 #ifndef TOKENSIM_HARNESS_WIRE_HH
@@ -116,6 +130,9 @@ class WireReader
     void raw(void *dst, std::size_t size, const char *what);
 
     std::size_t remaining() const { return size_ - pos_; }
+
+    /** Bytes consumed so far (for callers resuming an outer cursor). */
+    std::size_t consumed() const { return pos_; }
 
     /** @throws WireError if any bytes remain unconsumed. */
     void expectEnd(const char *what) const;
@@ -236,6 +253,104 @@ struct ErrorFrame
     std::string message;
 };
 ErrorFrame decodeErrorPayload(const std::string &payload);
+
+// ---------------------------------------------------------------------
+// Checkpoint layer (see file comment). Codec only — the file I/O
+// (atomic header creation, append, torn-tail truncation) lives in
+// harness/dist_runner.cc.
+// ---------------------------------------------------------------------
+
+/**
+ * A checkpoint file that cannot be used at all: bad magic, a
+ * different wireVersion, or a header too corrupt to parse. Distinct
+ * from a torn tail, which is tolerated and dropped silently.
+ */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    explicit CheckpointError(const std::string &what)
+        : std::runtime_error("checkpoint: " + what)
+    {}
+};
+
+/**
+ * A structurally valid checkpoint recorded for a *different* sweep
+ * (its fingerprint does not match the spec list being run). Resuming
+ * would merge foreign results into the grid, so this is always fatal.
+ */
+class CheckpointMismatch : public CheckpointError
+{
+  public:
+    using CheckpointError::CheckpointError;
+};
+
+/** Checkpoint file magic (distinct from the pipe-stream magic). */
+constexpr char checkpointMagic[8] = {'T', 'O', 'K', 'C', 'K', 'P',
+                                     'T', '1'};
+
+/** CRC-32 (IEEE 802.3, reflected) over @p size bytes at @p data. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/**
+ * Order-sensitive FNV-1a hash over wireVersion plus the full encoded
+ * spec list (configs, per-spec seed counts, labels). Two sweeps get
+ * the same fingerprint only if every shard of one is a shard of the
+ * other with the same meaning, which is exactly when resuming across
+ * them is sound.
+ * @throws WireError if a spec cannot be encoded (custom
+ *         workloadFactory) — DistRunner rejects such sweeps anyway.
+ */
+std::uint64_t sweepFingerprint(const std::vector<ExperimentSpec> &specs);
+
+struct CheckpointHeader
+{
+    std::uint64_t fingerprint = 0;
+    std::uint64_t totalShards = 0;
+};
+
+std::string encodeCheckpointHeader(std::uint64_t fingerprint,
+                                   std::uint64_t total_shards);
+
+/**
+ * Parse and validate the header at @p pos, advancing @p pos past it.
+ * @throws CheckpointError on bad magic, wrong wireVersion, or a
+ *         truncated header (a file that short has no usable records
+ *         either). Fingerprint matching is the caller's job — only it
+ *         knows the sweep being resumed.
+ */
+CheckpointHeader decodeCheckpointHeader(const std::string &buf,
+                                        std::size_t &pos);
+
+/** One completed shard restored from (or bound for) a checkpoint. */
+struct CheckpointRecord
+{
+    std::uint64_t spec = 0;   ///< index into the sweep's spec list
+    std::uint64_t seed = 0;   ///< 0-based seed offset within the spec
+    System::Results results;
+};
+
+/**
+ * One CRC-framed, append-safe record: varint payload length, payload
+ * (spec, seed, encoded results), then the payload's CRC-32 as 4
+ * little-endian bytes.
+ */
+std::string encodeCheckpointRecord(std::uint64_t spec,
+                                   std::uint64_t seed,
+                                   const System::Results &res);
+
+/**
+ * Incremental record parser, mirroring tryExtractFrame(): a complete,
+ * CRC-clean record fills @p out and advances @p pos; an incomplete
+ * trailing record returns false without consuming anything (the
+ * torn-tail case a killed writer leaves behind). A record that is
+ * complete but corrupt — CRC mismatch, undecodable payload, trailing
+ * payload bytes — throws WireError; checkpoint loaders treat that
+ * exactly like a torn tail (drop it and everything after), since an
+ * append-only writer can only corrupt the end of the file.
+ */
+bool tryExtractCheckpointRecord(const std::string &buf,
+                                std::size_t &pos,
+                                CheckpointRecord &out);
 
 } // namespace tokensim
 

@@ -16,14 +16,19 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "harness/dist_runner.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/wire.hh"
 #include "workload/trace.hh"
 
 namespace tokensim {
@@ -237,6 +242,116 @@ TEST(DistCrashRecovery, TruncatedResultFrameIsRetriedWithSameDigests)
     expectSameDigests(DistRunner(std::move(opts)).run(specs), serial);
 }
 
+TEST(DistCrashRecovery, GarbageReplyFromAnyWorkerIndexIsRecovered)
+{
+    // Worker 2 — NOT worker 0, proving fault targeting reaches every
+    // pool slot — replies to its first shard with 64 bytes of 0xee
+    // (an invalid frame type) and exits. The parent's decoder throws,
+    // the worker is killed and replaced, the shard reassigns.
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+
+    DistRunnerOptions opts;
+    opts.workers = 3;
+    opts.workerFault.worker = 2;
+    opts.workerFault.garbageAfterShards = 0;
+    expectSameDigests(DistRunner(std::move(opts)).run(specs), serial);
+}
+
+TEST(DistCrashRecovery, HungWorkerIsKilledByDeadlineAndRecovered)
+{
+    // Worker 0 goes silent forever after its second shard — no exit,
+    // no bytes, the one failure EOF can never report. The per-shard
+    // deadline must SIGKILL it and reassign, digests untouched.
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+
+    bool sawHangKill = false;
+    DistRunnerOptions opts;
+    opts.workers = 3;
+    opts.shardTimeoutMs = 1500;
+    opts.workerFault.hangAfterShards = 1;
+    opts.progress = [&](const std::string &l) {
+        if (l.find("hung") != std::string::npos)
+            sawHangKill = true;
+    };
+    expectSameDigests(DistRunner(std::move(opts)).run(specs), serial);
+    EXPECT_TRUE(sawHangKill);
+}
+
+TEST(DistCrashRecovery, PartialFrameThenHangIsRecoveredByDeadline)
+{
+    // Half a result frame, then silence: the buffered prefix never
+    // completes a frame, so only the deadline can unstick the sweep.
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+
+    DistRunnerOptions opts;
+    opts.workers = 3;
+    opts.shardTimeoutMs = 1500;
+    opts.workerFault.partialFrameAfterShards = 0;
+    expectSameDigests(DistRunner(std::move(opts)).run(specs), serial);
+}
+
+TEST(DistCrashRecovery, RespawnedWorkerCrashingAgainIsStillRecovered)
+{
+    // Every process spawned into slot 0 — the initial worker AND each
+    // respawn — crashes after its second shard. The respawn budget
+    // (2x workers = 6) absorbs the churn; healthy slots 1 and 2 plus
+    // the retry budget carry the sweep to the same digests.
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+
+    int respawns = 0;
+    DistRunnerOptions opts;
+    opts.workers = 3;
+    opts.maxShardRetries = 20;
+    opts.workerFault.worker = 0;
+    opts.workerFault.spawnGeneration = -1;   // every spawn
+    opts.workerFault.crashAfterShards = 1;
+    opts.progress = [&](const std::string &l) {
+        if (l.find("respawned") != std::string::npos)
+            ++respawns;
+    };
+    expectSameDigests(DistRunner(std::move(opts)).run(specs), serial);
+    EXPECT_GE(respawns, 1);
+}
+
+TEST(DistCrashRecovery, TotalWorkerChurnDegradesToInProcessRun)
+{
+    // Every worker, every spawn, crashes before its first reply: no
+    // shard can EVER complete in a subprocess. Once the respawn
+    // budget is spent and the pool empties, the parent must finish
+    // the sweep in-process — same digests, not an exception.
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+
+    bool degraded = false;
+    DistRunnerOptions opts;
+    opts.workers = 2;
+    opts.maxWorkerRespawns = 2;
+    opts.maxShardRetries = 100;
+    opts.workerFault.worker = -1;            // every slot
+    opts.workerFault.spawnGeneration = -1;   // every spawn
+    opts.workerFault.crashAfterShards = 0;
+    opts.progress = [&](const std::string &l) {
+        if (l.find("in-process") != std::string::npos)
+            degraded = true;
+    };
+    expectSameDigests(DistRunner(std::move(opts)).run(specs), serial);
+    EXPECT_TRUE(degraded);
+}
+
 TEST(DistRunner, ShardExceptionPropagatesFromWorker)
 {
     // An impossible topology throws inside the worker subprocess; the
@@ -296,6 +411,188 @@ TEST(DistRunner, RecordTraceIsRejectedUpFront)
     cfg.recordTrace = "test_traces/should_not_race.trace";
     std::vector<ExperimentSpec> specs{ExperimentSpec{cfg, 1, "r"}};
     EXPECT_THROW(makeRunner(2).run(specs), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / resume
+// ---------------------------------------------------------------------
+
+std::string
+ckptPath(const std::string &name)
+{
+    std::filesystem::create_directories("test_ckpt");
+    const std::string path = "test_ckpt/" + name + ".ckpt";
+    std::filesystem::remove(path);
+    return path;
+}
+
+DistRunnerOptions
+ckptOpts(const std::string &path, int workers)
+{
+    DistRunnerOptions opts;
+    opts.workers = workers;
+    opts.checkpointPath = path;
+    return opts;
+}
+
+TEST(DistCheckpoint, ResumeFromCompleteAndTruncatedFilesIsIdentical)
+{
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+    const std::string path = ckptPath("resume");
+
+    // Pass 1: fresh file, all 12 shards computed and recorded.
+    expectSameDigests(
+        DistRunner(ckptOpts(path, 3)).run(specs), serial);
+    const std::uintmax_t full_size = std::filesystem::file_size(path);
+
+    // Pass 2: full restore — zero recomputation, identical digests,
+    // and the restore line says so (at a different worker count, to
+    // prove restore is schedule-independent).
+    std::string restore_line;
+    DistRunnerOptions opts2 = ckptOpts(path, 2);
+    opts2.progress = [&](const std::string &l) {
+        if (l.rfind("checkpoint: restored", 0) == 0)
+            restore_line = l;
+    };
+    expectSameDigests(DistRunner(std::move(opts2)).run(specs), serial);
+    EXPECT_NE(restore_line.find("restored 12/12"), std::string::npos)
+        << restore_line;
+
+    // Pass 3: chop the file mid-record (a crash mid-append). The torn
+    // tail must drop, the missing shards recompute, digests hold.
+    std::filesystem::resize_file(path, full_size * 2 / 3);
+    std::string torn_line;
+    DistRunnerOptions opts3 = ckptOpts(path, 3);
+    opts3.progress = [&](const std::string &l) {
+        if (l.rfind("checkpoint: restored", 0) == 0)
+            torn_line = l;
+    };
+    expectSameDigests(DistRunner(std::move(opts3)).run(specs), serial);
+    EXPECT_NE(torn_line.find("torn tail"), std::string::npos)
+        << torn_line;
+
+    // Pass 4: pass 3's re-appended records must land where the next
+    // resume can see them — a full restore again.
+    std::string again;
+    DistRunnerOptions opts4 = ckptOpts(path, 2);
+    opts4.progress = [&](const std::string &l) {
+        if (l.rfind("checkpoint: restored", 0) == 0)
+            again = l;
+    };
+    expectSameDigests(DistRunner(std::move(opts4)).run(specs), serial);
+    EXPECT_NE(again.find("restored 12/12"), std::string::npos)
+        << again;
+}
+
+TEST(DistCheckpoint, CorruptTrailingByteReadsAsTornTail)
+{
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+    const std::string path = ckptPath("corrupt");
+    expectSameDigests(
+        DistRunner(ckptOpts(path, 3)).run(specs), serial);
+
+    // Flip a byte inside the last record: its CRC fails, it drops as
+    // a torn tail, and the shard recomputes to the same digest.
+    const std::uintmax_t size = std::filesystem::file_size(path);
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size - 10));
+    char c = 0;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(size - 10));
+    f.put(static_cast<char>(c ^ 0x55));
+    f.close();
+
+    expectSameDigests(
+        DistRunner(ckptOpts(path, 2)).run(specs), serial);
+}
+
+TEST(DistCheckpoint, DifferentSweepFingerprintIsRejected)
+{
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    const std::string path = ckptPath("mismatch");
+    DistRunner(ckptOpts(path, 2)).run(specs);
+
+    // One more seed per point is a different sweep: resuming against
+    // the old file must throw the typed mismatch, not merge garbage.
+    std::vector<ExperimentSpec> other = specs;
+    for (ExperimentSpec &s : other)
+        s.seeds += 1;
+    EXPECT_THROW(DistRunner(ckptOpts(path, 2)).run(other),
+                 CheckpointMismatch);
+
+    // A non-checkpoint file is a typed CheckpointError.
+    const std::string junk = ckptPath("junk");
+    std::ofstream(junk, std::ios::binary) << "not a checkpoint file";
+    EXPECT_THROW(DistRunner(ckptOpts(junk, 2)).run(specs),
+                 CheckpointError);
+}
+
+TEST(DistCheckpoint, SigkilledSweepResumesBitIdentically)
+{
+    // The end-to-end crash gate: a whole DistRunner — parent and
+    // workers — is SIGKILLed mid-sweep, then the sweep reruns against
+    // the surviving checkpoint. The resume must restore whatever was
+    // recorded (any torn trailing record dropped), recompute the
+    // rest, and match the serial oracle exactly.
+    const std::vector<ExperimentSpec> specs = smallMatrix();
+    std::vector<ExperimentResult> serial;
+    for (const ExperimentSpec &s : specs)
+        serial.push_back(runExperiment(s.cfg, s.seeds, s.label));
+    const std::string path = ckptPath("sigkill");
+
+    int progress_pipe[2];
+    ASSERT_EQ(::pipe(progress_pipe), 0);
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Victim process: run the checkpointed sweep with forked
+        // workers, ticking a byte into the pipe per completed shard
+        // so the parent can kill us provably mid-sweep. Only _exit
+        // from here — this is a forked copy of the test binary.
+        ::close(progress_pipe[0]);
+        DistRunnerOptions opts = ckptOpts(path, 2);
+        const int wfd = progress_pipe[1];
+        opts.progress = [wfd](const std::string &l) {
+            if (l.rfind("shard ", 0) == 0)
+                (void)!::write(wfd, "x", 1);
+        };
+        try {
+            DistRunner(std::move(opts)).run(specs);
+        } catch (...) {
+            _exit(1);
+        }
+        _exit(0);
+    }
+    ::close(progress_pipe[1]);
+
+    // Let a few shards land, then kill without warning. (If the child
+    // somehow finishes first, read returns 0 and the resume below
+    // simply restores everything — the assertion still holds.)
+    std::size_t ticks = 0;
+    char c;
+    while (ticks < 3 && ::read(progress_pipe[0], &c, 1) == 1)
+        ++ticks;
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    ::close(progress_pipe[0]);
+
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << "checkpoint never materialized";
+    std::size_t restored = 0;
+    DistRunnerOptions opts = ckptOpts(path, 3);
+    opts.progress = [&](const std::string &l) {
+        if (l.find("restored") != std::string::npos)
+            ++restored;
+    };
+    expectSameDigests(DistRunner(std::move(opts)).run(specs), serial);
 }
 
 // ---------------------------------------------------------------------

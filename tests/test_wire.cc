@@ -599,5 +599,157 @@ TEST(WireFrames, ResultPayloadTruncationAtEveryByteIsATypedError)
     }
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint layer
+// ---------------------------------------------------------------------
+
+TEST(WireCheckpoint, Crc32MatchesTheIeeeKnownAnswer)
+{
+    // The CRC-32/IEEE check value: crc("123456789") = 0xcbf43926.
+    // Pins the polynomial, reflection, and final xor all at once.
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+    EXPECT_NE(crc32("123456789", 9), crc32("123456788", 9));
+}
+
+TEST(WireCheckpoint, HeaderRoundTripsAndStopsAtItsOwnEnd)
+{
+    const std::string hdr =
+        encodeCheckpointHeader(0xdeadbeefcafef00dULL, 12);
+    std::size_t pos = 0;
+    const CheckpointHeader back = decodeCheckpointHeader(hdr, pos);
+    EXPECT_EQ(back.fingerprint, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(back.totalShards, 12u);
+    // pos lands exactly on the first record byte even with trailing
+    // data present (the resume path decodes header-then-records from
+    // one buffer).
+    EXPECT_EQ(pos, hdr.size());
+    std::size_t pos2 = 0;
+    decodeCheckpointHeader(hdr + "records follow", pos2);
+    EXPECT_EQ(pos2, hdr.size());
+}
+
+TEST(WireCheckpoint, HeaderBadMagicAndVersionAreCheckpointErrors)
+{
+    std::string bad = encodeCheckpointHeader(1, 2);
+    bad[0] = 'X';
+    std::size_t pos = 0;
+    EXPECT_THROW(decodeCheckpointHeader(bad, pos), CheckpointError);
+
+    // Not a wire stream either: the pipe magic must not be accepted.
+    std::string pipe_magic = encodeCheckpointHeader(1, 2);
+    std::memcpy(&pipe_magic[0], wireMagic, sizeof(wireMagic));
+    pos = 0;
+    EXPECT_THROW(decodeCheckpointHeader(pipe_magic, pos),
+                 CheckpointError);
+
+    std::string vbad(checkpointMagic, sizeof(checkpointMagic));
+    WireWriter w;
+    w.varint(wireVersion + 1);
+    vbad += w.buffer();
+    pos = 0;
+    EXPECT_THROW(decodeCheckpointHeader(vbad, pos), CheckpointError);
+}
+
+TEST(WireCheckpoint, HeaderTruncationAtEveryByteIsACheckpointError)
+{
+    const std::string full = encodeCheckpointHeader(
+        std::numeric_limits<std::uint64_t>::max(), 100000);
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        std::size_t pos = 0;
+        EXPECT_THROW(decodeCheckpointHeader(full.substr(0, cut), pos),
+                     CheckpointError);
+    }
+}
+
+TEST(WireCheckpoint, RecordRoundTripsBitExactly)
+{
+    const System::Results res = exhaustiveResults();
+    const std::string rec = encodeCheckpointRecord(3, 7, res);
+    std::size_t pos = 0;
+    CheckpointRecord back;
+    ASSERT_TRUE(tryExtractCheckpointRecord(rec, pos, back));
+    EXPECT_EQ(back.spec, 3u);
+    EXPECT_EQ(back.seed, 7u);
+    expectSameResults(back.results, res);
+    EXPECT_EQ(pos, rec.size());
+    // And nothing more.
+    EXPECT_FALSE(tryExtractCheckpointRecord(rec, pos, back));
+}
+
+TEST(WireCheckpoint, RecordStreamExtractsIncrementally)
+{
+    // Byte-at-a-time feeding, mirroring the frame-layer test: a
+    // record appears exactly when its last (CRC) byte arrives. This
+    // is the torn-tail property — any prefix is "no record yet",
+    // never an error, never a partial success.
+    std::string stream = encodeCheckpointRecord(0, 0, System::Results{});
+    stream += encodeCheckpointRecord(1, 2, exhaustiveResults());
+    std::string buf;
+    std::size_t pos = 0;
+    std::vector<CheckpointRecord> got;
+    for (char c : stream) {
+        buf.push_back(c);
+        CheckpointRecord r;
+        while (tryExtractCheckpointRecord(buf, pos, r))
+            got.push_back(r);
+    }
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].spec, 0u);
+    EXPECT_EQ(got[1].spec, 1u);
+    EXPECT_EQ(got[1].seed, 2u);
+    EXPECT_EQ(pos, stream.size());
+}
+
+TEST(WireCheckpoint, CorruptRecordByteIsATypedErrorAtEveryOffset)
+{
+    // Flip each byte of a complete record: whichever field it lands
+    // in (length varint, payload, CRC), extraction must either throw
+    // WireError or report "no complete record" — never return a
+    // record that differs from what was written.
+    const std::string good = encodeCheckpointRecord(5, 6,
+                                                    exhaustiveResults());
+    for (std::size_t i = 0; i < good.size(); ++i) {
+        SCOPED_TRACE("flip=" + std::to_string(i));
+        std::string bad = good;
+        bad[i] = static_cast<char>(bad[i] ^ 0x40);
+        std::size_t pos = 0;
+        CheckpointRecord r;
+        try {
+            if (tryExtractCheckpointRecord(bad, pos, r)) {
+                FAIL() << "corrupt record extracted at flip " << i;
+            }
+            // false: the flip enlarged the claimed length — reads as
+            // an incomplete (torn) record, which resume re-runs.
+        } catch (const WireError &) {
+            // CRC (or structural) mismatch: also correct.
+        }
+    }
+}
+
+TEST(WireCheckpoint, FingerprintSeesSpecsSeedsAndOrder)
+{
+    std::vector<ExperimentSpec> a;
+    a.push_back(ExperimentSpec{exhaustiveConfig(), 3, "p1"});
+    a.push_back(ExperimentSpec{SystemConfig{}, 2, "p2"});
+    EXPECT_EQ(sweepFingerprint(a), sweepFingerprint(a));
+
+    std::vector<ExperimentSpec> reordered{a[1], a[0]};
+    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(reordered));
+
+    std::vector<ExperimentSpec> more_seeds = a;
+    more_seeds[0].seeds = 4;
+    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(more_seeds));
+
+    std::vector<ExperimentSpec> other_cfg = a;
+    other_cfg[1].cfg.numNodes += 1;
+    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(other_cfg));
+
+    std::vector<ExperimentSpec> relabeled = a;
+    relabeled[0].label = "renamed";
+    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(relabeled));
+}
+
 } // namespace
 } // namespace tokensim
