@@ -6,7 +6,7 @@
  * shards onto.
  *
  *   $ ./sweep_tool run [options]
- *   $ ./sweep_tool worker
+ *   $ ./sweep_tool worker [--connect HOST:PORT | --listen HOST:PORT]
  *
  * `run` prints exactly one machine-parseable line per design point on
  * stdout — `<label> <resultDigest()>` in spec order — so piping or
@@ -21,6 +21,16 @@
  * DistRunner spawns it via --worker-bin or workerArgv; anything that
  * can ship byte streams between hosts can drive it remotely.
  *
+ * Cross-host TCP: `worker --connect HOST:PORT` dials a sweeping
+ * parent's listener and serves the same protocol over the socket
+ * (retrying the connect so workers may be launched first); `worker
+ * --listen HOST:PORT` waits for the parent to dial it instead. On the
+ * run side, `--hosts FILE|LIST` takes newline- or comma-separated
+ * endpoints: a `listen:HOST:PORT` entry opens the parent's listener
+ * (port 0 = ephemeral, announced on stderr), every other entry is a
+ * `worker --listen` endpoint to dial. Workers join and leave freely
+ * mid-sweep; digests never change.
+ *
  * Options (run):
  *   --protocols a,b,c  comma list (default tokenb,snooping)
  *   --workloads a,b    comma list of presets or trace:PATH entries
@@ -32,8 +42,16 @@
  *   --warmup N         warmup ops/processor (default 0)
  *   --seeds N          seeds per design point (default 2)
  *   --seed S           base seed (default 1)
- *   --workers N        worker subprocesses (default: TOKENSIM_WORKERS,
- *                      else 0 = in-process ParallelRunner)
+ *   --workers N        local worker subprocesses (default:
+ *                      TOKENSIM_WORKERS, else 0 = in-process
+ *                      ParallelRunner; with --hosts, 0 = remote-only)
+ *   --hosts FILE|LIST  TCP fleet manifest: `listen:HOST:PORT` opens
+ *                      the parent listener, other entries are dialed
+ *   --join-timeout MS  wait this long for a TCP worker to (re)join
+ *                      an empty pool before degrading in-process
+ *                      (default 30000; -1 = forever)
+ *   --hello-timeout MS drop a connected peer with no valid hello
+ *                      after MS (default 10000)
  *   --threads N        ParallelRunner threads when workers = 0
  *   --serial           serial runExperiment loop (the oracle)
  *   --fork-workers     fork-only workers instead of exec'ing self
@@ -55,13 +73,18 @@
  *   --help             print option summary with defaults
  */
 
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "harness/dist_runner.hh"
@@ -126,6 +149,9 @@ struct Options
     int threads = 0;
     bool serial = false;
     bool forkWorkers = false;
+    std::string hosts;      // --hosts FILE|LIST (empty: no TCP)
+    long joinTimeoutMs = 30000;
+    long helloTimeoutMs = 10000;
     std::string checkpoint;
     int retries = 2;
     long shardTimeoutMs = 0;
@@ -143,7 +169,9 @@ printHelp(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s run [options]\n"
-        "       %s worker\n"
+        "       %s worker [--connect HOST:PORT | --listen "
+        "HOST:PORT]\n"
+        "              [--retry-ms MS] [--identity S]\n"
         "\n"
         "run options:\n"
         "  --protocols a,b,c   comma list (default tokenb,snooping)\n"
@@ -156,8 +184,22 @@ printHelp(const char *argv0)
         "  --warmup N          warmup ops/processor (default %llu)\n"
         "  --seeds N           seeds per design point (default %d)\n"
         "  --seed S            base seed (default %llu)\n"
-        "  --workers N         worker subprocesses (default: "
-        "TOKENSIM_WORKERS, else 0 = in-process threads)\n"
+        "  --workers N         local worker subprocesses (default: "
+        "TOKENSIM_WORKERS, else 0 =\n"
+        "                      in-process threads; with --hosts, 0 = "
+        "remote-only)\n"
+        "  --hosts FILE|LIST   TCP fleet manifest: `listen:HOST:PORT` "
+        "opens the parent\n"
+        "                      listener (port 0 = ephemeral, printed "
+        "to stderr); other\n"
+        "                      entries are `worker --listen` "
+        "endpoints to dial\n"
+        "  --join-timeout MS   wait for a TCP (re)join when the pool "
+        "is empty before\n"
+        "                      degrading in-process (default %ld; -1 "
+        "= forever)\n"
+        "  --hello-timeout MS  drop a connected peer with no valid "
+        "hello (default %ld)\n"
         "  --threads N         ParallelRunner threads when workers "
         "= 0 (default: hardware)\n"
         "  --serial            serial oracle loop\n"
@@ -179,8 +221,8 @@ printHelp(const char *argv0)
         argv0, argv0, d.nodes,
         static_cast<unsigned long long>(d.ops),
         static_cast<unsigned long long>(d.warmup), d.seeds,
-        static_cast<unsigned long long>(d.seed), d.retries,
-        d.shardTimeoutMs);
+        static_cast<unsigned long long>(d.seed), d.joinTimeoutMs,
+        d.helloTimeoutMs, d.retries, d.shardTimeoutMs);
 }
 
 Options
@@ -216,6 +258,12 @@ parseOptions(int argc, char **argv, int first)
             o.seed = std::stoull(value());
         else if (a == "--workers")
             o.workers = static_cast<int>(std::stol(value()));
+        else if (a == "--hosts")
+            o.hosts = value();
+        else if (a == "--join-timeout")
+            o.joinTimeoutMs = std::stol(value());
+        else if (a == "--hello-timeout")
+            o.helloTimeoutMs = std::stol(value());
         else if (a == "--threads")
             o.threads = static_cast<int>(std::stol(value()));
         else if (a == "--serial")
@@ -316,6 +364,51 @@ dumpMetrics(const ExperimentResult &r)
     }
 }
 
+/**
+ * Resolve --hosts: a readable file is one endpoint per line ('#'
+ * comments and blanks skipped), anything else a comma list. Each
+ * `listen:HOST:PORT` entry opens the parent's listener (last one
+ * wins); every other entry is dialed as a `worker --listen` endpoint.
+ */
+void
+parseHosts(const std::string &arg, std::string &listen,
+           std::vector<std::string> &dial)
+{
+    std::vector<std::string> entries;
+    std::ifstream f(arg);
+    if (f.is_open()) {
+        std::string line;
+        while (std::getline(f, line))
+            entries.push_back(line);
+    } else {
+        entries = splitCommas(arg);
+    }
+    const std::string listen_prefix = "listen:";
+    for (std::string e : entries) {
+        const std::size_t b = e.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        e = e.substr(b, e.find_last_not_of(" \t\r") - b + 1);
+        if (e.empty() || e[0] == '#')
+            continue;
+        if (e.compare(0, listen_prefix.size(), listen_prefix) == 0)
+            listen = e.substr(listen_prefix.size());
+        else
+            dial.push_back(e);
+    }
+}
+
+/** "host:pid", the worker identity shown in the parent's logs. */
+std::string
+defaultIdentity()
+{
+    char host[256];
+    if (::gethostname(host, sizeof(host)) != 0)
+        std::strcpy(host, "unknown");
+    host[sizeof(host) - 1] = '\0';
+    return std::string(host) + ":" + std::to_string(::getpid());
+}
+
 /** Path of this binary, for exec'ing ourselves as the worker. */
 std::string
 selfExe()
@@ -334,10 +427,17 @@ runSweep(const Options &o)
 {
     const std::vector<ExperimentSpec> specs = buildMatrix(o);
 
-    if (!o.checkpoint.empty() && (o.serial || o.workers < 1)) {
+    std::string tcpListenEp;
+    std::vector<std::string> tcpDial;
+    if (!o.hosts.empty())
+        parseHosts(o.hosts, tcpListenEp, tcpDial);
+    const bool tcpFleet = !tcpListenEp.empty() || !tcpDial.empty();
+
+    if (!o.checkpoint.empty() &&
+        (o.serial || (o.workers < 1 && !tcpFleet))) {
         throw std::invalid_argument(
-            "--checkpoint requires --workers >= 1 (checkpointing "
-            "lives in the process-sharded runner)");
+            "--checkpoint requires --workers >= 1 or --hosts "
+            "(checkpointing lives in the process-sharded runner)");
     }
 
     std::vector<ExperimentResult> results;
@@ -348,33 +448,49 @@ runSweep(const Options &o)
         for (const ExperimentSpec &s : specs)
             results.push_back(
                 runExperiment(s.cfg, s.seeds, s.label));
-    } else if (o.workers >= 1) {
+    } else if (o.workers >= 1 || tcpFleet) {
         DistRunnerOptions d;
-        d.workers = o.workers;
+        d.workers = std::max(o.workers, 0);
         d.maxShardRetries = o.retries;
         d.shardTimeoutMs = o.shardTimeoutMs;
         d.checkpointPath = o.checkpoint;
-        if (!o.forkWorkers) {
+        d.listen = tcpListenEp;
+        d.dial = tcpDial;
+        d.joinTimeoutMs = o.joinTimeoutMs;
+        d.helloTimeoutMs = o.helloTimeoutMs;
+        if (!tcpListenEp.empty()) {
+            // Announce the bound port (ephemeral or not) so scripts
+            // can scrape it and point their workers at it.
+            d.onListen = [](int port) {
+                std::fprintf(stderr, "sweep: listening on port %d\n",
+                             port);
+            };
+        }
+        if (!o.forkWorkers && d.workers >= 1) {
             const std::string self = selfExe();
             if (!self.empty())
                 d.workerArgv = {self, "worker"};
             // readlink failed (no /proc?): fall back to forked
             // in-process workers — same protocol, same results.
         }
-        // Checkpoint and worker-lifecycle events (restore counts,
-        // hang kills, respawns, degradation) are operationally
-        // significant, so they print even without --progress; the
-        // chatty per-shard lines stay opt-in.
+        // Checkpoint, worker-lifecycle, and TCP fleet events
+        // (restore counts, hang kills, respawns, joins, drops,
+        // degradation) are operationally significant, so they print
+        // even without --progress; the chatty per-shard lines stay
+        // opt-in.
         const bool verbose = o.progress;
         d.progress = [verbose](const std::string &line) {
             if (verbose || line.rfind("checkpoint", 0) == 0 ||
-                line.rfind("worker", 0) == 0)
+                line.rfind("worker", 0) == 0 ||
+                line.rfind("tcp", 0) == 0)
                 std::fprintf(stderr, "sweep: %s\n", line.c_str());
         };
-        std::fprintf(stderr, "sweep: %zu design points x %d seeds "
-                             "across %d worker processes (%s)\n",
+        std::fprintf(stderr,
+                     "sweep: %zu design points x %d seeds across %d "
+                     "local worker processes (%s)%s\n",
                      specs.size(), o.seeds, d.workers,
-                     d.workerArgv.empty() ? "forked" : "exec'd");
+                     d.workerArgv.empty() ? "forked" : "exec'd",
+                     tcpFleet ? " + TCP fleet" : "");
         results = DistRunner(std::move(d)).run(specs);
     } else {
         ParallelRunner runner(ParallelRunnerOptions{o.threads});
@@ -427,8 +543,66 @@ main(int argc, char **argv)
             printHelp(argv[0]);
             return 0;
         }
-        if (mode == "worker")
-            return runDistWorker(0, 1);
+        if (mode == "worker") {
+            std::string connect;
+            std::string listenEp;
+            std::string identity;
+            long retryMs = 10000;
+            for (int i = 2; i < argc; ++i) {
+                const std::string a = argv[i];
+                const auto value = [&]() -> std::string {
+                    if (i + 1 >= argc) {
+                        throw std::invalid_argument(a +
+                                                    " needs a value");
+                    }
+                    return argv[++i];
+                };
+                if (a == "--connect")
+                    connect = value();
+                else if (a == "--listen")
+                    listenEp = value();
+                else if (a == "--retry-ms")
+                    retryMs = std::stol(value());
+                else if (a == "--identity")
+                    identity = value();
+                else
+                    throw std::invalid_argument(
+                        "unknown worker option: " + a);
+            }
+            if (!connect.empty() && !listenEp.empty()) {
+                throw std::invalid_argument(
+                    "worker: --connect and --listen are exclusive");
+            }
+            if (identity.empty())
+                identity = defaultIdentity();
+            if (!connect.empty()) {
+                // A parent that dies mid-write must surface as EPIPE
+                // (worker exits 2), not SIGPIPE.
+                std::signal(SIGPIPE, SIG_IGN);
+                const int fd = tcpConnect(connect, retryMs);
+                const int rc = runDistWorker(fd, fd, {}, identity);
+                ::close(fd);
+                return rc;
+            }
+            if (!listenEp.empty()) {
+                std::signal(SIGPIPE, SIG_IGN);
+                int port = 0;
+                const int lfd = tcpListen(listenEp, port);
+                std::fprintf(stderr,
+                             "worker: listening on port %d\n", port);
+                const int fd = ::accept(lfd, nullptr, nullptr);
+                if (fd < 0) {
+                    throw std::runtime_error(
+                        std::string("worker: accept(): ") +
+                        std::strerror(errno));
+                }
+                ::close(lfd);
+                const int rc = runDistWorker(fd, fd, {}, identity);
+                ::close(fd);
+                return rc;
+            }
+            return runDistWorker(0, 1, {}, identity);
+        }
         if (mode == "run") {
             const Options o = parseOptions(argc, argv, 2);
             if (o.help) {
