@@ -17,6 +17,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/snapshot.hh"
 #include "harness/system.hh"
 #include "mem/block_map.hh"
 #include "mem/cache.hh"
@@ -537,6 +538,82 @@ BM_RunnerMatrixParallel(benchmark::State &state)
         static_cast<double>(runner.threads());
 }
 BENCHMARK(BM_RunnerMatrixParallel)->Unit(benchmark::kMillisecond);
+
+void
+BM_FastForwardOpRate(benchmark::State &state)
+{
+    // Functional fast-forward throughput on the same 16-node TokenB +
+    // OLTP stack as BM_EndToEndSimulatedOps: the ratio of the two
+    // items/s figures is the sampled-simulation speedup on the
+    // fast-forwarded fraction (the SMARTS acceptance bar is > 50x).
+    // One long-lived System: the generators are infinite, so repeated
+    // fast-forwards run in the cache-warm steady state a sampled
+    // sweep's spans actually see.
+    SystemConfig cfg;
+    cfg.numNodes = 16;
+    cfg.topology = "torus";
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.workload = "oltp";
+    System sys(cfg);
+    for (auto _ : state) {
+        sys.fastForward(500);
+        benchmark::DoNotOptimize(sys.sequencer(0).completedOps());
+    }
+    state.SetItemsProcessed(state.iterations() * 16 * 500);
+}
+BENCHMARK(BM_FastForwardOpRate);
+
+void
+BM_SnapshotSave(benchmark::State &state)
+{
+    // Warm-state snapshot encode throughput. The producer stays
+    // fast-forward-only (saving never mutates it), so one setup warm
+    // of 20k ops/node serves every iteration; bytes/s is the figure
+    // that matters — a sweep pays one save per warmed workload.
+    SystemConfig cfg;
+    cfg.numNodes = 16;
+    cfg.topology = "torus";
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.workload = "oltp";
+    System sys(cfg);
+    sys.fastForward(20000);
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        const std::string snap = saveWarmSnapshot(sys);
+        bytes = snap.size();
+        benchmark::DoNotOptimize(snap.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bytes));
+    state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SnapshotSave);
+
+void
+BM_SnapshotRestore(benchmark::State &state)
+{
+    // Decode + validate + state-restore throughput into a reused
+    // System — the per-design-point cost a snapshot-warmed sweep pays
+    // instead of re-running the functional warmup.
+    SystemConfig cfg;
+    cfg.numNodes = 16;
+    cfg.topology = "torus";
+    cfg.protocol = ProtocolKind::tokenB;
+    cfg.workload = "oltp";
+    System producer(cfg);
+    producer.fastForward(20000);
+    const std::string snap = saveWarmSnapshot(producer);
+    System sys(cfg);
+    for (auto _ : state) {
+        sys.reset(cfg);
+        benchmark::DoNotOptimize(loadWarmSnapshot(sys, snap));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(snap.size()));
+}
+BENCHMARK(BM_SnapshotRestore);
 
 void
 BM_EndToEndSimulatedOps(benchmark::State &state)

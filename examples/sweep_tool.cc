@@ -40,6 +40,17 @@
  *   --nodes N          processors per system (default 8)
  *   --ops N            measured ops/processor (default 1000)
  *   --warmup N         warmup ops/processor (default 0)
+ *   --sample FF:WIN:N  SMARTS-style sampling on every design point:
+ *                      alternate FF fast-forwarded ops with WIN
+ *                      detailed ops, N windows; --ops is ignored and
+ *                      sampled means carry across-window stderr
+ *   --snapshot PATH    warm-state snapshot reuse: if PATH exists,
+ *                      load it into every design point (warmup
+ *                      skipped); else fast-forward --warmup ops once,
+ *                      save to PATH, and use it. Requires --seeds 1
+ *                      and design points differing only in timing
+ *                      knobs; any shape/workload/seed mismatch is a
+ *                      typed error before the sweep starts
  *   --seeds N          seeds per design point (default 2)
  *   --seed S           base seed (default 1)
  *   --workers N        local worker subprocesses (default:
@@ -80,6 +91,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -90,6 +102,7 @@
 #include "harness/dist_runner.hh"
 #include "harness/experiment.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/snapshot.hh"
 #include "harness/system.hh"
 
 using namespace tokensim;
@@ -143,6 +156,8 @@ struct Options
     int nodes = 8;
     std::uint64_t ops = 1000;
     std::uint64_t warmup = 0;
+    SamplingSpec sample;    // --sample FF:WIN:N (disabled: all zero)
+    std::string snapshot;   // --snapshot PATH (empty: no snapshot)
     int seeds = 2;
     std::uint64_t seed = 1;
     int workers = -1;       // -1: TOKENSIM_WORKERS, else 0
@@ -182,6 +197,21 @@ printHelp(const char *argv0)
         "  --ops N             measured ops/processor (default "
         "%llu)\n"
         "  --warmup N          warmup ops/processor (default %llu)\n"
+        "  --sample FF:WIN:N   SMARTS sampling: N windows of FF "
+        "fast-forwarded +\n"
+        "                      WIN detailed ops per processor "
+        "(--ops ignored;\n"
+        "                      sampled means carry across-window "
+        "stderr)\n"
+        "  --snapshot PATH     load PATH as the warm-state snapshot "
+        "for every design\n"
+        "                      point, or create it first (one "
+        "fast-forward of --warmup\n"
+        "                      ops) if missing; needs --seeds 1, and "
+        "points may differ\n"
+        "                      only in timing knobs (shape/workload/"
+        "seed mismatches are\n"
+        "                      typed errors up front)\n"
         "  --seeds N           seeds per design point (default %d)\n"
         "  --seed S            base seed (default %llu)\n"
         "  --workers N         local worker subprocesses (default: "
@@ -225,6 +255,29 @@ printHelp(const char *argv0)
         d.helloTimeoutMs, d.retries, d.shardTimeoutMs);
 }
 
+/** --sample FF:WIN:N -> SamplingSpec{FF, WIN, N}. */
+SamplingSpec
+parseSample(const std::string &s)
+{
+    const std::size_t c1 = s.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? c1 : s.find(':', c1 + 1);
+    if (c2 == std::string::npos) {
+        throw std::invalid_argument(
+            "--sample wants FF:WIN:N (fast-forward ops : detailed "
+            "ops : windows), got \"" + s + "\"");
+    }
+    SamplingSpec spec;
+    spec.ffOps = std::stoull(s.substr(0, c1));
+    spec.measureOps = std::stoull(s.substr(c1 + 1, c2 - c1 - 1));
+    spec.windows = std::stoull(s.substr(c2 + 1));
+    if (!spec.enabled()) {
+        throw std::invalid_argument(
+            "--sample needs WIN >= 1 and N >= 1");
+    }
+    return spec;
+}
+
 Options
 parseOptions(int argc, char **argv, int first)
 {
@@ -252,6 +305,10 @@ parseOptions(int argc, char **argv, int first)
             o.ops = std::stoull(value());
         else if (a == "--warmup")
             o.warmup = std::stoull(value());
+        else if (a == "--sample")
+            o.sample = parseSample(value());
+        else if (a == "--snapshot")
+            o.snapshot = value();
         else if (a == "--seeds")
             o.seeds = static_cast<int>(std::stol(value()));
         else if (a == "--seed")
@@ -315,6 +372,7 @@ buildMatrix(const Options &o)
             cfg.workload = parseWorkload(w);
             cfg.opsPerProcessor = o.ops;
             cfg.warmupOpsPerProcessor = o.warmup;
+            cfg.sampling = o.sample;
             cfg.seed = o.seed;
             specs.push_back(ExperimentSpec{
                 cfg, o.seeds, proto_name + "/" + w});
@@ -422,10 +480,78 @@ selfExe()
     return buf;
 }
 
+/**
+ * Resolve --snapshot: load PATH if it exists, else warm the first
+ * design point once (fast-forward of --warmup ops) and write it.
+ * Every spec then runs from the snapshot with its own warmup skipped.
+ * Mismatches are typed errors before any simulation starts: each
+ * spec's shape fingerprint is checked against the snapshot's header,
+ * so "this sweep varies something a snapshot binds" fails with the
+ * offending label, not 20 minutes in on a worker.
+ */
+void
+attachSnapshot(const Options &o, std::vector<ExperimentSpec> &specs)
+{
+    if (o.seeds != 1) {
+        throw std::invalid_argument(
+            "--snapshot requires --seeds 1: a snapshot binds the "
+            "per-node op streams, which the seed determines");
+    }
+    std::string bytes;
+    std::ifstream in(o.snapshot, std::ios::binary);
+    if (in.is_open()) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        bytes = ss.str();
+        std::fprintf(stderr, "sweep: loaded warm snapshot %s "
+                             "(%zu bytes, %llu warm ops/node)\n",
+                     o.snapshot.c_str(), bytes.size(),
+                     static_cast<unsigned long long>(
+                         peekSnapshotHeader(bytes).warmOps));
+    } else {
+        if (o.warmup == 0) {
+            throw std::invalid_argument(
+                "--snapshot " + o.snapshot +
+                " does not exist and --warmup is 0; pass --warmup N "
+                "to say how far to fast-forward the fresh snapshot");
+        }
+        System sys(specs.front().cfg);
+        sys.fastForward(o.warmup);
+        bytes = saveWarmSnapshot(sys);
+        std::ofstream out(o.snapshot,
+                          std::ios::binary | std::ios::trunc);
+        if (!out || !(out << bytes)) {
+            throw std::runtime_error("cannot write snapshot " +
+                                     o.snapshot);
+        }
+        std::fprintf(stderr, "sweep: warmed %llu ops/node and saved "
+                             "snapshot %s (%zu bytes)\n",
+                     static_cast<unsigned long long>(o.warmup),
+                     o.snapshot.c_str(), bytes.size());
+    }
+
+    const std::uint64_t fp = peekSnapshotHeader(bytes).fingerprint;
+    const auto shared =
+        std::make_shared<const std::string>(std::move(bytes));
+    for (ExperimentSpec &s : specs) {
+        if (snapshotShapeFingerprint(s.cfg) != fp) {
+            throw SnapshotError(
+                "design point \"" + s.label + "\" does not match " +
+                o.snapshot + ": a snapshot binds structure, "
+                "workload, and seed — only timing knobs may vary "
+                "across a snapshot-warmed sweep");
+        }
+        s.cfg.warmSnapshot = shared;
+        s.cfg.warmupOpsPerProcessor = 0;
+    }
+}
+
 int
 runSweep(const Options &o)
 {
-    const std::vector<ExperimentSpec> specs = buildMatrix(o);
+    std::vector<ExperimentSpec> specs = buildMatrix(o);
+    if (!o.snapshot.empty())
+        attachSnapshot(o, specs);
 
     std::string tcpListenEp;
     std::vector<std::string> tcpDial;

@@ -1,6 +1,8 @@
 #include "core/tokenb.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "sim/stats.hh"
 
@@ -809,6 +811,391 @@ std::string
 TokenBMemory::holderName() const
 {
     return strformat("memory.%u", id_);
+}
+
+// =====================================================================
+// Fast-forward and warm-state snapshots
+// =====================================================================
+
+TokenLine *
+TokenBCache::functionalAlloc(Addr ba, FunctionalEnv &env)
+{
+    CacheArray<TokenLine>::Victim victim;
+    TokenLine *line = l2_.allocate(ba, &victim);
+    if (victim.valid) {
+        const TokenLine &v = victim.line;
+        assert(v.tokens > 0 && "token-less line survived in cache");
+        env.holders.drop(v.addr, id_);
+        notifyLineRemoved(v.addr);
+        // The eviction token message, delivered: the home absorbs the
+        // tokens (data travels iff we own — invariant #4'). The home's
+        // holding must already be materialized: tokens can only have
+        // reached this cache through it.
+        auto *mem = static_cast<TokenBMemory *>(
+            env.memories[ctx_.home(v.addr)]);
+        TokenCount &tc = mem->tokensFor(v.addr);
+        tc.absorb(v.tokens, v.owner, v.owner);
+        assert(tc.sane(t_));
+        if (v.owner)
+            mem->store_.write(v.addr, v.data);
+    }
+    return line;
+}
+
+std::uint64_t
+TokenBCache::applyFunctional(const ProcRequest &req, FunctionalEnv &env)
+{
+    const Addr ba = ctx_.blockAlign(req.addr);
+    const bool is_store = req.op == MemOp::store;
+    assert(outstanding_.empty() && persistentTable_.empty() &&
+           "fast-forward requires a quiescent cache");
+    if (auditor_)
+        auditor_->touch(ba);
+
+    TokenLine *line = l2_.touch(ba);
+    const bool hit = line && line->validData &&
+        (is_store ? line->tokens == t_ : line->tokens >= 1);
+    if (hit) {
+        if (is_store) {
+            line->data = req.storeValue;
+            line->dirty = true;
+            return req.storeValue;
+        }
+        return line->data;
+    }
+
+    auto *mem = static_cast<TokenBMemory *>(env.memories[ctx_.home(ba)]);
+
+    // Token conservation makes the home record an O(1) oracle for
+    // where the peer scans can stop: the owner token is either in a
+    // cache line or folded into the home's TokenCount, and tokens the
+    // home still holds cannot be in any peer. Both short-circuits
+    // skip only peers that provably hold nothing for this block, so
+    // the resulting state is bit-identical to the full scans.
+    const TokenCount memView = mem->tokenState(ba);
+
+    // When a scan is unavoidable, the env's holder index bounds it to
+    // the caches that actually hold the block. The probe order can
+    // differ from the full walk's, but the outcome cannot: GetS takes
+    // from the unique owner wherever it sits, and GetM drains every
+    // actual holder (conservation pins their token total), so the
+    // resulting state is bit-identical either way.
+    const auto holderView = [&] {
+        return env.holders.holders(ba, [&](auto &&push) {
+            for (std::size_t i = 0; i < env.caches.size(); ++i) {
+                if (static_cast<TokenBCache *>(env.caches[i])
+                        ->l2_.find(ba))
+                    push(static_cast<NodeId>(i));
+            }
+        });
+    };
+
+    if (!is_store) {
+        // GetS: the owner — a cache line holding the owner token, else
+        // the home memory — responds exactly as handleTransient would;
+        // the transfer settles atomically.
+        int gotTokens = 0;
+        bool gotOwner = false;
+        std::uint64_t value = 0;
+        TokenBCache *ownerCache = nullptr;
+        TokenLine *ownerLine = nullptr;
+        if (!memView.owner) {
+            const HolderIndex::View hv = holderView();
+            if (!hv.overflow) {
+                for (unsigned i = 0; i < hv.n && !ownerLine; ++i) {
+                    if (hv.ids[i] == id_)
+                        continue;
+                    auto *tc = static_cast<TokenBCache *>(
+                        env.caches[hv.ids[i]]);
+                    TokenLine *l = tc->l2_.find(ba);
+                    assert(l && "holder index lists a cache with "
+                                "no line");
+                    if (l->owner) {
+                        ownerCache = tc;
+                        ownerLine = l;
+                    }
+                }
+            } else {
+                for (CacheController *c : env.caches) {
+                    if (c == this)
+                        continue;
+                    auto *tc = static_cast<TokenBCache *>(c);
+                    TokenLine *l = tc->l2_.find(ba);
+                    if (l && l->owner) {
+                        ownerCache = tc;
+                        ownerLine = l;
+                        break;
+                    }
+                }
+            }
+            assert(ownerLine &&
+                   "owner neither at home nor in any cache");
+        }
+        if (ownerLine) {
+            value = ownerLine->data;
+            if (ownerLine->tokens == t_ && ownerLine->dirty &&
+                params_.migratoryOpt) {
+                // Migratory: data + all tokens + owner.
+                gotTokens = ownerLine->tokens;
+                gotOwner = true;
+            } else if (ownerLine->tokens >= 2) {
+                gotTokens = 1;   // one plain token, owner kept
+            } else {
+                gotTokens = 1;   // the owner token itself, with data
+                gotOwner = true;
+            }
+            ownerLine->tokens -= gotTokens;
+            if (gotOwner)
+                ownerLine->owner = false;
+            if (ownerLine->tokens == 0) {
+                env.holders.drop(ba, ownerCache->id_);
+                ownerCache->freeLine(*ownerLine);
+            }
+        } else {
+            TokenCount &tc = mem->tokensFor(ba);
+            assert(tc.owner &&
+                   "no owner anywhere for a quiescent block");
+            const bool send_owner = tc.count < 2;
+            tc.release(1, send_owner);
+            gotTokens = 1;
+            gotOwner = send_owner;
+            value = mem->store_.read(ba);
+        }
+        TokenLine *nl = line ? line : functionalAlloc(ba, env);
+        env.holders.add(ba, id_);
+        nl->tokens += gotTokens;
+        assert(nl->tokens <= t_);
+        if (gotOwner) {
+            assert(!nl->owner && "owner token duplicated");
+            nl->owner = true;
+        }
+        if (!nl->validData) {
+            nl->validData = true;
+            nl->data = value;
+        } else {
+            assert(nl->data == value &&
+                   "incoherent data copies detected");
+        }
+        return nl->data;
+    }
+
+    // GetM: gather every token in the system — each peer holding any
+    // gives up everything (the owner's travel with data), and so does
+    // the home. Peers can hold only what neither we nor the home do;
+    // once that many have been collected, the remaining peers provably
+    // hold nothing and the scan stops.
+    int inPeers = t_ - (line ? line->tokens : 0) - memView.count;
+    assert(inPeers >= 0);
+    const auto gatherFrom = [&](TokenBCache *tc) {
+        TokenLine *l = tc->l2_.find(ba);
+        if (!l)
+            return;
+        assert(l->tokens > 0);
+        const int n = l->tokens;
+        const bool owner = l->owner;
+        l->tokens = 0;
+        l->owner = false;
+        env.holders.drop(ba, tc->id_);
+        tc->freeLine(*l);
+        TokenLine *nl = line ? line : functionalAlloc(ba, env);
+        line = nl;
+        nl->tokens += n;
+        inPeers -= n;
+        if (owner) {
+            assert(!nl->owner);
+            nl->owner = true;
+        }
+    };
+    if (inPeers > 0) {
+        const HolderIndex::View hv = holderView();
+        if (!hv.overflow) {
+            for (unsigned i = 0; i < hv.n && inPeers > 0; ++i) {
+                if (hv.ids[i] == id_)
+                    continue;
+                gatherFrom(static_cast<TokenBCache *>(
+                    env.caches[hv.ids[i]]));
+            }
+            assert(inPeers == 0);
+        } else {
+            for (CacheController *c : env.caches) {
+                if (inPeers == 0)
+                    break;
+                if (c == this)
+                    continue;
+                gatherFrom(static_cast<TokenBCache *>(c));
+            }
+        }
+    }
+    {
+        TokenCount &tc = mem->tokensFor(ba);
+        if (tc.count > 0) {
+            const int n = tc.count;
+            const bool owner = tc.owner;
+            tc.release(n, owner);
+            TokenLine *nl = line ? line : functionalAlloc(ba, env);
+            line = nl;
+            line->tokens += n;
+            if (owner) {
+                assert(!line->owner);
+                line->owner = true;
+            }
+        }
+    }
+    env.holders.add(ba, id_);
+    assert(line && line->tokens == t_ && line->owner &&
+           "store gathered fewer than T tokens");
+    line->validData = true;
+    line->dirty = true;
+    line->data = req.storeValue;
+    return req.storeValue;
+}
+
+void
+TokenBCache::encodeWarmState(WireWriter &w) const
+{
+    if (!quiescent() || !persistentTable_.empty() ||
+        !persistDoneSent_.empty())
+        throw WireError("token cache has transactions in flight");
+    w.varint(l2_.useCounter());
+    w.varint(l2_.validCount());
+    l2_.forEachValidIndexed(
+        [&](std::size_t way, std::uint64_t stamp, const TokenLine &l) {
+            w.varint(way);
+            w.varint(stamp);
+            w.varint(l.addr);
+            w.varint(static_cast<std::uint64_t>(l.tokens));
+            w.boolean(l.owner);
+            w.boolean(l.validData);
+            w.boolean(l.dirty);
+            w.varint(l.data);
+        });
+    putStructEnd(w);
+}
+
+void
+TokenBCache::decodeWarmState(WireReader &r)
+{
+    l2_.setUseCounter(r.varint("l2 use counter"));
+    const std::uint64_t count = r.varint("l2 line count");
+    if (count > l2_.wayCount())
+        throw WireError("l2 line count exceeds the array's ways");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t way = r.varint("l2 way index");
+        const std::uint64_t stamp = r.varint("l2 lru stamp");
+        const Addr addr = r.varint("l2 line address");
+        const std::uint64_t tokens = r.varint("token line count");
+        const bool owner = r.boolean("token line owner");
+        const bool validData = r.boolean("token line validData");
+        const bool dirty = r.boolean("token line dirty");
+        const std::uint64_t data = r.varint("token line data");
+        if (way >= l2_.wayCount())
+            throw WireError("l2 way index out of range");
+        if (l2_.wayValid(way))
+            throw WireError("duplicate l2 way in snapshot");
+        if (ctx_.blockAlign(addr) != addr)
+            throw WireError("l2 line address not block-aligned");
+        if (!l2_.wayMatchesSet(way, addr))
+            throw WireError("l2 line mapped to the wrong set");
+        if (l2_.contains(addr))
+            throw WireError("duplicate l2 block in snapshot");
+        if (stamp > l2_.useCounter())
+            throw WireError("l2 lru stamp exceeds the use counter");
+        if (tokens < 1 || tokens > static_cast<std::uint64_t>(t_))
+            throw WireError("token count outside [1, T]");
+        if (validData && tokens < 1)
+            throw WireError("valid data without a token");
+        TokenLine *l = l2_.restoreWay(static_cast<std::size_t>(way),
+                                      addr, stamp);
+        l->tokens = static_cast<int>(tokens);
+        l->owner = owner;
+        l->validData = validData;
+        l->dirty = dirty;
+        l->data = data;
+        if (auditor_)
+            auditor_->touch(addr);
+    }
+    checkStructEnd(r, "token cache warm state");
+}
+
+void
+TokenBMemory::encodeWarmState(WireWriter &w) const
+{
+    if (!persistentTable_.empty() || !arbiter_.quiescent())
+        throw WireError("token memory has persistent activity");
+    std::vector<std::pair<Addr, std::uint64_t>> written;
+    for (const auto &[a, v] : store_.blocks()) {
+        if (v != BackingStore::initialValue(a))
+            written.emplace_back(a, v);
+    }
+    std::sort(written.begin(), written.end());
+    w.varint(written.size());
+    for (const auto &[a, v] : written) {
+        w.varint(a);
+        w.varint(v);
+    }
+
+    // Holdings that still equal the initial all-T state are omitted:
+    // tokensFor() rematerializes them on demand, so the snapshot stays
+    // canonical whether or not they were ever touched.
+    std::vector<Addr> live;
+    for (const auto &[a, tc] : tokens_) {
+        if (tc.count != t_ || !tc.owner || !tc.valid)
+            live.push_back(a);
+    }
+    std::sort(live.begin(), live.end());
+    w.varint(live.size());
+    for (Addr a : live) {
+        const TokenCount &tc = tokens_.find(a)->second;
+        w.varint(a);
+        w.varint(static_cast<std::uint64_t>(tc.count));
+        w.boolean(tc.owner);
+        w.boolean(tc.valid);
+    }
+    putStructEnd(w);
+}
+
+void
+TokenBMemory::decodeWarmState(WireReader &r)
+{
+    const std::uint64_t nwritten = r.varint("written block count");
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < nwritten; ++i) {
+        const Addr a = r.varint("written block address");
+        const std::uint64_t v = r.varint("written block value");
+        if (ctx_.blockAlign(a) != a)
+            throw WireError("written block not block-aligned");
+        if (ctx_.home(a) != id_)
+            throw WireError("written block homed elsewhere");
+        if (i > 0 && a <= prev)
+            throw WireError("written blocks not strictly ascending");
+        prev = a;
+        store_.write(a, v);
+    }
+    const std::uint64_t nlive = r.varint("token holding count");
+    prev = 0;
+    for (std::uint64_t i = 0; i < nlive; ++i) {
+        const Addr a = r.varint("token holding address");
+        const std::uint64_t count = r.varint("token holding tokens");
+        const bool owner = r.boolean("token holding owner");
+        const bool valid = r.boolean("token holding valid");
+        if (ctx_.blockAlign(a) != a)
+            throw WireError("token holding not block-aligned");
+        if (ctx_.home(a) != id_)
+            throw WireError("token holding homed elsewhere");
+        if (i > 0 && a <= prev)
+            throw WireError("token holdings not strictly ascending");
+        prev = a;
+        TokenCount tc;
+        tc.count = static_cast<int>(count);
+        tc.owner = owner;
+        tc.valid = valid;
+        if (count > static_cast<std::uint64_t>(t_) || !tc.sane(t_))
+            throw WireError("token holding violates invariants");
+        tokens_.emplace(a, tc);
+        if (auditor_)
+            auditor_->touch(a);
+    }
+    checkStructEnd(r, "token memory warm state");
 }
 
 } // namespace tokensim

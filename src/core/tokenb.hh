@@ -76,6 +76,19 @@ class TokenBCache : public CacheController, public TokenHolder
     void resetState(const ProtocolParams &params,
                     std::uint64_t seed) override;
 
+    /**
+     * Functional apply, shared by every token performance protocol
+     * (TokenD/M/A/Null inherit it): token movements settle atomically
+     * — requester gathers what the responding policy would send — so
+     * conservation invariant #1' holds at every step. Performance soft
+     * state (destination predictors, soft-state directory, adaptation
+     * windows) stays cold, as documented on the base class.
+     */
+    std::uint64_t applyFunctional(const ProcRequest &req,
+                                  FunctionalEnv &env) override;
+    void encodeWarmState(WireWriter &w) const override;
+    void decodeWarmState(WireReader &r) override;
+
     // TokenHolder
     int tokensHeld(Addr block_addr) const override;
     bool ownerHeld(Addr block_addr) const override;
@@ -129,6 +142,10 @@ class TokenBCache : public CacheController, public TokenHolder
     /** Find (or allocate, evicting if needed) the line for a block. */
     TokenLine *findLine(Addr addr);
     TokenLine *allocLine(Addr addr);
+
+    /** Fast-forward allocation: a victim's tokens (and data, when it
+     *  owns) move to the home atomically — no message. */
+    TokenLine *functionalAlloc(Addr ba, FunctionalEnv &env);
 
     /** Release tokens from a line into a message and send it. */
     void sendTokensFromLine(TokenLine &line, int count, bool send_owner,
@@ -194,6 +211,9 @@ class TokenBMemory : public MemoryController, public TokenHolder
     std::uint64_t peekData(Addr addr) const override;
     void resetState(const ProtocolParams &params) override;
 
+    void encodeWarmState(WireWriter &w) const override;
+    void decodeWarmState(WireReader &r) override;
+
     // TokenHolder
     int tokensHeld(Addr block_addr) const override;
     bool ownerHeld(Addr block_addr) const override;
@@ -206,6 +226,10 @@ class TokenBMemory : public MemoryController, public TokenHolder
     TokenCount tokenState(Addr addr) const;
 
   protected:
+    /** Fast-forward reaches straight into the home's token holdings
+     *  and backing store. */
+    friend class TokenBCache;
+
     /** Handle a transient request reaching the home. */
     virtual void handleTransient(const Message &msg);
 

@@ -39,6 +39,7 @@ Sequencer::reset(const SequencerParams &params,
     issueScheduled_ = false;
     nextIssueAllowed_ = 0;
     nextReqId_ = 1;
+    issueLimit_ = ~std::uint64_t{0};
     issuedCtl_ = 0;
     pulledCtl_ = 0;
     completedCtl_ = 0;
@@ -71,7 +72,7 @@ void
 Sequencer::tryIssue()
 {
     while (outstanding_ < params_.maxOutstanding &&
-           issuedCtl_ < opBudget_) {
+           issuedCtl_ < opBudget_ && issuedCtl_ < issueLimit_) {
         // Think time paces issues: non-memory work between ops.
         if (ctx_.now() < nextIssueAllowed_) {
             wakeIssuer(nextIssueAllowed_);
@@ -181,6 +182,123 @@ Sequencer::onLineRemoved(Addr addr)
         return;
     if (l1_.find(addr))
         l1_.invalidate(addr);
+}
+
+void
+Sequencer::fastForward(std::uint64_t n, FunctionalEnv &env)
+{
+    assert(outstanding_ == 0 && busyBlocks_.empty() &&
+           "fast-forward requires a drained system");
+    opBudget_ += n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        WorkloadOp wop;
+        if (stalled_) {
+            wop = stalledOp_;
+            stalled_ = false;
+        } else {
+            wop = workload_->next();
+            ++pulledCtl_;
+        }
+        ++issuedCtl_;
+
+        const Addr ba = ctx_.blockAlign(wop.addr);
+        // The L1 filter applies functionally too: a load hit never
+        // reaches the protocol in detailed mode, so it must not warm
+        // protocol state here either (and it consumes no request id).
+        if (params_.l1Enabled && wop.op == MemOp::load &&
+            l1_.touch(ba)) {
+            ++completedCtl_;
+            continue;
+        }
+
+        ProcRequest req;
+        req.op = wop.op;
+        req.addr = wop.addr;
+        req.reqId = nextReqId_++;
+        if (wop.op == MemOp::store)
+            req.storeValue = (std::uint64_t{id_} << 48) ^ req.reqId;
+        const std::uint64_t v = cache_->applyFunctional(req, env);
+
+        if (params_.l1Enabled) {
+            // Mirror onComplete: loads fill, stores refresh in place.
+            // A load only reaches here when the touch() above missed,
+            // and nothing below it inserts into this L1 (functional
+            // evictions only remove), so the fill needs no re-probe.
+            if (wop.op == MemOp::load) {
+                CacheArray<L1Line>::Victim victim;
+                l1_.allocate(ba, &victim)->data = v;
+            } else if (L1Line *line = l1_.find(ba)) {
+                line->data = v;
+            }
+        }
+        ++completedCtl_;
+    }
+}
+
+void
+Sequencer::adoptWarmProgress(std::uint64_t warm_ops)
+{
+    assert(issuedCtl_ == 0 && completedCtl_ == 0 && pulledCtl_ == 0 &&
+           "warm progress must be adopted by a freshly reset sequencer");
+    opBudget_ += warm_ops;
+    pulledCtl_ = warm_ops;
+    issuedCtl_ = warm_ops;
+    completedCtl_ = warm_ops;
+    workload_->skip(warm_ops);
+}
+
+void
+Sequencer::encodeWarmState(WireWriter &w) const
+{
+    if (outstanding_ != 0 || stalled_ || !busyBlocks_.empty())
+        throw WireError("sequencer has operations in flight");
+    w.varint(nextReqId_);
+    w.varint(l1_.useCounter());
+    w.varint(l1_.validCount());
+    l1_.forEachValidIndexed(
+        [&](std::size_t way, std::uint64_t stamp, const L1Line &line) {
+            w.varint(way);
+            w.varint(stamp);
+            w.varint(line.addr);
+            w.varint(line.data);
+        });
+    putStructEnd(w);
+}
+
+void
+Sequencer::decodeWarmState(WireReader &r)
+{
+    nextReqId_ = r.varint("sequencer nextReqId");
+    if (nextReqId_ == 0)
+        throw WireError("sequencer nextReqId must be nonzero");
+    l1_.setUseCounter(r.varint("l1 use counter"));
+    const std::uint64_t count = r.varint("l1 line count");
+    if (count > l1_.wayCount()) {
+        throw WireError("l1 line count " + std::to_string(count) +
+                        " exceeds the array's " +
+                        std::to_string(l1_.wayCount()) + " ways");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t way = r.varint("l1 way index");
+        const std::uint64_t stamp = r.varint("l1 lru stamp");
+        const Addr addr = r.varint("l1 line address");
+        const std::uint64_t data = r.varint("l1 line data");
+        if (way >= l1_.wayCount())
+            throw WireError("l1 way index out of range");
+        if (l1_.wayValid(way))
+            throw WireError("duplicate l1 way in snapshot");
+        if (l1_.blockAlign(addr) != addr)
+            throw WireError("l1 line address not block-aligned");
+        if (!l1_.wayMatchesSet(way, addr))
+            throw WireError("l1 line mapped to the wrong set");
+        if (l1_.contains(addr))
+            throw WireError("duplicate l1 block in snapshot");
+        if (stamp > l1_.useCounter())
+            throw WireError("l1 lru stamp exceeds the use counter");
+        l1_.restoreWay(static_cast<std::size_t>(way), addr, stamp)
+            ->data = data;
+    }
+    checkStructEnd(r, "sequencer warm state");
 }
 
 } // namespace tokensim

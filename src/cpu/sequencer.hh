@@ -107,6 +107,46 @@ class Sequencer
     /** All budgeted operations have completed. */
     bool done() const { return completedCtl_ >= opBudget_; }
 
+    /**
+     * Run @p n operations of the workload functionally: architectural
+     * state (L1/L2 contents, protocol warm state via
+     * CacheController::applyFunctional) advances exactly as the
+     * detailed path would leave it at quiescence, but no events,
+     * messages, timers, RNG draws, or statistics happen. The op budget
+     * grows by @p n (functional ops ride on top of the detailed
+     * budget). Requires a drained system: no outstanding operations.
+     */
+    void fastForward(std::uint64_t n, FunctionalEnv &env);
+
+    /**
+     * Cap on issued operations for the current detailed phase; issuing
+     * pauses (without ending the run) once @p at ops have been issued
+     * since construction/reset. Raise it and kick() to resume. The
+     * default (no cap) leaves the classic single-phase path untouched.
+     */
+    void setIssueLimit(std::uint64_t at) { issueLimit_ = at; }
+
+    /** Re-arm the issue loop after raising the issue limit. */
+    void kick() { wakeIssuer(ctx_.now() + 1); }
+
+    /**
+     * Adopt the progress a warm-state snapshot recorded: account
+     * @p warm_ops operations as pulled/issued/completed, grow the
+     * budget to match, and skip the workload past the ops the saved
+     * fast-forward consumed. Must be called on a freshly reset
+     * sequencer, after decodeWarmState().
+     */
+    void adoptWarmProgress(std::uint64_t warm_ops);
+
+    /** Serialize warm state (request-id counter, L1 contents with
+     *  exact LRU stamps). Requires a pristine fast-forward-only
+     *  sequencer (nothing in flight). @throws WireError otherwise. */
+    void encodeWarmState(WireWriter &w) const;
+
+    /** Inverse of encodeWarmState() into a freshly reset sequencer.
+     *  @throws WireError on malformed input. */
+    void decodeWarmState(WireReader &r);
+
     /** Operations completed since construction (warmup included). */
     std::uint64_t completedOps() const { return completedCtl_; }
 
@@ -201,6 +241,7 @@ class Sequencer
     bool issueScheduled_ = false;
     Tick nextIssueAllowed_ = 0;
     std::uint64_t nextReqId_ = 1;
+    std::uint64_t issueLimit_ = ~std::uint64_t{0};
     std::uint64_t issuedCtl_ = 0;
     std::uint64_t pulledCtl_ = 0;
     std::uint64_t completedCtl_ = 0;

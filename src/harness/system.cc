@@ -7,6 +7,7 @@
 #include "core/ext/tokend.hh"
 #include "core/ext/tokenm.hh"
 #include "core/tokenb.hh"
+#include "harness/snapshot.hh"
 #include "proto/directory/directory.hh"
 #include "proto/hammer/hammer.hh"
 #include "proto/snooping/snooping.hh"
@@ -67,9 +68,17 @@ System::System(const SystemConfig &cfg)
         sequencers_.push_back(std::make_unique<Sequencer>(
             ctx_, id, caches_[i].get(),
             makeWorkload(id, wl_seed), cfg_.seq,
-            cfg_.opsPerProcessor + cfg_.warmupOpsPerProcessor,
-            seq_seed));
+            detailedOpBudget(), seq_seed));
     }
+}
+
+std::uint64_t
+System::detailedOpBudget() const
+{
+    return cfg_.warmupOpsPerProcessor +
+        (cfg_.sampling.enabled()
+             ? cfg_.sampling.windows * cfg_.sampling.measureOps
+             : cfg_.opsPerProcessor);
 }
 
 namespace {
@@ -135,6 +144,7 @@ System::reset(const SystemConfig &cfg, bool trust_factory)
     measureStartScheduled_ = 0;
     measureStartDispatched_ = 0;
     measureStartCancelled_ = 0;
+    sampledValid_ = false;
     // The workload spec is a runtime knob: reset may switch
     // preset↔trace or trace↔trace. An invalid spec (unknown preset,
     // malformed trace) throws here, leaving the System unusable —
@@ -156,8 +166,7 @@ System::reset(const SystemConfig &cfg, bool trust_factory)
         const std::uint64_t seq_seed = seeder.next();
         sequencers_[static_cast<std::size_t>(i)]->reset(
             cfg_.seq, makeWorkload(id, wl_seed),
-            cfg_.opsPerProcessor + cfg_.warmupOpsPerProcessor,
-            seq_seed);
+            detailedOpBudget(), seq_seed);
     }
     return true;
 }
@@ -297,34 +306,96 @@ System::resetStats()
     measureStartCancelled_ = eq_.cancelled();
 }
 
+namespace {
+
+/**
+ * The run loops' stop predicates poll one milestone counter that
+ * sequencers bump on the relevant completion, instead of asking
+ * every sequencer after every event (that scan was a measurable
+ * fraction of total simulation time on wide systems). The guard
+ * disarms the milestones on every exit path — the counters live
+ * on the run loop's frame, and a throwing handler must not leave
+ * dangling pointers behind in the sequencers.
+ */
+struct MilestoneGuard
+{
+    std::vector<std::unique_ptr<Sequencer>> &seqs;
+    ~MilestoneGuard()
+    {
+        for (auto &s : seqs)
+            s->setMilestone(0, nullptr);
+    }
+};
+
+} // namespace
+
+void
+System::fastForward(std::uint64_t ops_per_node)
+{
+    // A functional step under in-flight messages would race them:
+    // settle everything first. (Already drained when the sampled loop
+    // calls this at a window edge.)
+    if (!eq_.run(cfg_.maxTicks)) {
+        throw std::runtime_error(
+            "simulation failed to drain before fast-forward");
+    }
+    FunctionalEnv env;
+    env.caches.reserve(caches_.size());
+    env.memories.reserve(memories_.size());
+    for (auto &c : caches_)
+        env.caches.push_back(c.get());
+    for (auto &m : memories_)
+        env.memories.push_back(m.get());
+    // Round-robin in small bursts: a node's workload tables and cache
+    // arrays stay hot for the burst (per-op alternation thrashes them
+    // across nodes), while the <=32-op skew between nodes stays
+    // negligible against any useful fast-forward span. The schedule
+    // is fixed, so every runner sees the same interleaving.
+    constexpr std::uint64_t burst = 32;
+    for (std::uint64_t k = 0; k < ops_per_node; k += burst) {
+        const std::uint64_t n = std::min(burst, ops_per_node - k);
+        for (auto &s : sequencers_)
+            s->fastForward(n, env);
+    }
+}
+
 void
 System::run()
 {
+    const bool sampled = cfg_.sampling.enabled();
+    if (!cfg_.recordTrace.empty() && (sampled || cfg_.warmSnapshot)) {
+        // Fast-forward pulls ops the detailed engine never sees, and
+        // a snapshot-warmed run never pulls its warmup ops at all —
+        // either way the recorded trace would not replay the run that
+        // produced it.
+        throw std::runtime_error(
+            "recordTrace requires a fully detailed run "
+            "(no sampling, no warm snapshot)");
+    }
+    sampledValid_ = false;
+
+    if (cfg_.warmSnapshot)
+        loadWarmSnapshot(*this, *cfg_.warmSnapshot);
+    // Warm progress — from the snapshot just loaded or from a direct
+    // fastForward() call before run() — shifts every op-count edge.
+    const std::uint64_t base = sequencers_[0]->completedOps();
+
+    if (sampled) {
+        runSampled(base);
+        return;
+    }
+
     for (auto &s : sequencers_)
         s->start();
 
-    // The run loop's stop predicates poll one milestone counter that
-    // sequencers bump on the relevant completion, instead of asking
-    // every sequencer after every event (that scan was a measurable
-    // fraction of total simulation time on wide systems). The guard
-    // disarms the milestones on every exit path — the counters live
-    // on this frame, and a throwing handler must not leave dangling
-    // pointers behind in the sequencers.
     const auto n = static_cast<std::uint64_t>(sequencers_.size());
-    struct MilestoneGuard
-    {
-        std::vector<std::unique_ptr<Sequencer>> &seqs;
-        ~MilestoneGuard()
-        {
-            for (auto &s : seqs)
-                s->setMilestone(0, nullptr);
-        }
-    } guard{sequencers_};
+    MilestoneGuard guard{sequencers_};
 
     if (cfg_.warmupOpsPerProcessor > 0) {
         std::uint64_t warmCount = 0;
         for (auto &s : sequencers_)
-            s->setMilestone(cfg_.warmupOpsPerProcessor, &warmCount);
+            s->setMilestone(base + cfg_.warmupOpsPerProcessor,
+                            &warmCount);
         const bool warmed = eq_.runUntil(
             [&warmCount, n]() { return warmCount >= n; },
             cfg_.maxTicks);
@@ -338,7 +409,7 @@ System::run()
     std::uint64_t doneCount = 0;
     for (auto &s : sequencers_) {
         s->setMilestone(
-            cfg_.opsPerProcessor + cfg_.warmupOpsPerProcessor,
+            base + cfg_.warmupOpsPerProcessor + cfg_.opsPerProcessor,
             &doneCount);
     }
     const bool finished = eq_.runUntil(
@@ -364,6 +435,74 @@ System::run()
         traceWriter_->writeFile(cfg_.recordTrace);
 }
 
+void
+System::runSampled(std::uint64_t base)
+{
+    const SamplingSpec &sp = cfg_.sampling;
+    const auto n = static_cast<std::uint64_t>(sequencers_.size());
+    MilestoneGuard guard{sequencers_};
+
+    // Sequencers pause at each phase edge instead of free-running to
+    // their budgets, so every fast-forward span starts from a fully
+    // drained, op-exact boundary.
+    std::uint64_t edge = base + cfg_.warmupOpsPerProcessor;
+    for (auto &s : sequencers_) {
+        s->setIssueLimit(edge);
+        s->start();
+    }
+    if (cfg_.warmupOpsPerProcessor > 0) {
+        std::uint64_t warmCount = 0;
+        for (auto &s : sequencers_)
+            s->setMilestone(edge, &warmCount);
+        const bool warmed = eq_.runUntil(
+            [&warmCount, n]() { return warmCount >= n; },
+            cfg_.maxTicks);
+        if (!warmed) {
+            throw std::runtime_error(
+                "simulation exceeded maxTicks during warmup");
+        }
+        for (auto &s : sequencers_)
+            s->setMilestone(0, nullptr);
+        if (!eq_.run(cfg_.maxTicks)) {
+            throw std::runtime_error(
+                "simulation failed to drain after warmup");
+        }
+    }
+
+    Results pooled;
+    for (std::uint64_t w = 0; w < sp.windows; ++w) {
+        fastForward(sp.ffOps);
+        edge += sp.ffOps + sp.measureOps;
+        resetStats();
+        std::uint64_t winCount = 0;
+        for (auto &s : sequencers_) {
+            s->setMilestone(edge, &winCount);
+            s->setIssueLimit(edge);
+            s->kick();
+        }
+        const bool finished = eq_.runUntil(
+            [&winCount, n]() { return winCount >= n; }, cfg_.maxTicks);
+        for (auto &s : sequencers_)
+            s->setMilestone(0, nullptr);
+        if (!finished) {
+            throw std::runtime_error(
+                "simulation exceeded maxTicks in a sampled window - "
+                "possible protocol deadlock or starvation");
+        }
+        if (!eq_.run(cfg_.maxTicks)) {
+            throw std::runtime_error(
+                "simulation failed to drain a sampled window");
+        }
+        // Each window is one sample: counters sum, RunningStats
+        // Welford-combine. cpt_ns enters per window as a one-sample
+        // stat, so the pooled stat's stderr is the across-window
+        // standard error SMARTS reports.
+        pooled.metrics.merge(collectResults().metrics);
+    }
+    sampledResults_ = std::move(pooled);
+    sampledValid_ = true;
+}
+
 /**
  * The full metric catalog of a run, registered in one fixed order so
  * registry equality is meaningful across runners. Pinned metrics feed
@@ -375,6 +514,12 @@ System::run()
  */
 System::Results
 System::results() const
+{
+    return sampledValid_ ? sampledResults_ : collectResults();
+}
+
+System::Results
+System::collectResults() const
 {
     std::uint64_t ops = 0, transactions = 0, l1_hits = 0;
     std::uint64_t l2_accesses = 0, l2_hits = 0, misses = 0, c2c = 0;

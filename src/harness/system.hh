@@ -31,6 +31,28 @@
 
 namespace tokensim {
 
+/**
+ * SMARTS-style systematic sampling (Wunderlich et al., ISCA 2003):
+ * alternate cheap functional fast-forward spans with short detailed
+ * measurement windows. Each window contributes one sample of every
+ * pinned metric; System::results() pools the windows so sampled means
+ * carry standard errors. With @c windows windows, every processor
+ * executes warmup + windows * (ffOps + measureOps) operations total,
+ * of which only warmup + windows * measureOps run on the detailed
+ * engine — the fast-forwarded ops update architectural warm state
+ * (cache tags/LRU, token counts, directory entries, backing store)
+ * at far above the detailed op rate, with no events, messages, or
+ * RNG draws.
+ */
+struct SamplingSpec
+{
+    std::uint64_t ffOps = 0;       ///< functional ops per span
+    std::uint64_t measureOps = 0;  ///< detailed ops per window
+    std::uint64_t windows = 0;     ///< number of measurement windows
+
+    bool enabled() const { return windows > 0 && measureOps > 0; }
+};
+
 /** Everything needed to build one simulated system (Table 1 defaults). */
 struct SystemConfig
 {
@@ -78,8 +100,25 @@ struct SystemConfig
      */
     std::string recordTrace;
 
-    /** Operations each processor executes (measured window). */
+    /** Operations each processor executes (measured window). Ignored
+     *  when `sampling` is enabled — the sampled budget is
+     *  sampling.windows * sampling.measureOps detailed ops plus
+     *  sampling.windows * sampling.ffOps functional ops. */
     std::uint64_t opsPerProcessor = 20000;
+
+    /** When enabled, run() alternates fast-forward spans with
+     *  detailed measurement windows instead of one detailed run. */
+    SamplingSpec sampling;
+
+    /**
+     * Warm-state snapshot bytes (harness/snapshot.hh) to restore
+     * before running. The snapshot must have been saved from a config
+     * with the same shape fingerprint (structure + workload + seed;
+     * timing knobs are free). Shared so a sweep's many configs carry
+     * one copy in-process; the wire codec ships the bytes to
+     * DistRunner workers. Incompatible with recordTrace.
+     */
+    std::shared_ptr<const std::string> warmSnapshot;
 
     /**
      * Operations each processor executes before statistics are
@@ -180,6 +219,19 @@ class System
 
     /** Run at most until @p tick (for incremental test control). */
     void runUntilTick(Tick tick) { eq_.run(tick); }
+
+    /**
+     * Advance every processor @p ops_per_node operations functionally
+     * (round-robin, one op per node per turn): architectural warm
+     * state updates in place through the protocol's applyFunctional
+     * hook, with no events, messages, timers, RNG draws, or
+     * statistics. The event queue is drained first; requires all
+     * sequencers idle at an issue limit (or not yet started).
+     * run() calls this between measurement windows when
+     * cfg.sampling is enabled; tests and snapshot producers call it
+     * directly.
+     */
+    void fastForward(std::uint64_t ops_per_node);
 
     EventQueue &eq() { return eq_; }
     Network &net() { return *net_; }
@@ -380,6 +432,20 @@ class System
                                            std::uint64_t seed);
     void buildControllers(NodeId id, std::uint64_t seed);
 
+    /** Detailed-engine op budget per processor (warmup included);
+     *  fast-forwarded ops ride on top of this at run time. */
+    std::uint64_t detailedOpBudget() const;
+
+    /** The sampled run loop (cfg_.sampling enabled): windows of
+     *  fastForward + detailed measurement, pooled into
+     *  sampledResults_. @p base is the per-node op count already
+     *  completed when run() started (warm-snapshot progress). */
+    void runSampled(std::uint64_t base);
+
+    /** Collect the current window/run counters (never the pooled
+     *  sampled results). */
+    Results collectResults() const;
+
     /** (Re)build the workload factory and trace recorder for cfg_. */
     void configureWorkloads();
 
@@ -405,6 +471,10 @@ class System
     std::uint64_t measureStartScheduled_ = 0;
     std::uint64_t measureStartDispatched_ = 0;
     std::uint64_t measureStartCancelled_ = 0;
+    /** Pooled per-window results of a completed sampled run; valid
+     *  only when sampledValid_ (results() then returns these). */
+    Results sampledResults_;
+    bool sampledValid_ = false;
 };
 
 } // namespace tokensim

@@ -65,89 +65,28 @@
 #include <string>
 
 #include "harness/experiment.hh"
+#include "sim/bytes.hh"
 
 namespace tokensim {
 
-/** Any structural problem with a wire buffer or frame. */
-class WireError : public std::runtime_error
-{
-  public:
-    explicit WireError(const std::string &what)
-        : std::runtime_error("wire: " + what)
-    {}
-};
+// WireError / WireWriter / WireReader and the struct-end sentinel live
+// in sim/bytes.hh (re-exported here) so proto/ and cpu/ warm-state
+// codecs can use them without depending on the harness.
 
 /** Bumped on any change to an encoded layout. */
 // v2: System::Results became a named-metric registry; the per-field
 //     Results encoding was replaced by the generic metric codec.
 // v3: the hello payload gained a worker identity/host string (the
 //     cross-host TCP transport needs to name who just connected).
-constexpr std::uint32_t wireVersion = 3;
+// v4: SystemConfig gained the SMARTS sampling spec (ffOps,
+//     measureOps, windows) and the warm-state snapshot payload.
+constexpr std::uint32_t wireVersion = 4;
 
 /** Stream magic carried by the hello frame. */
 constexpr char wireMagic[8] = {'T', 'O', 'K', 'S', 'W', 'E', 'E', 'P'};
 
 /** Hard cap on one frame's payload (a corrupt length must not OOM). */
 constexpr std::uint64_t maxFramePayload = 1ull << 30;
-
-/** Appends primitives to a growing buffer (the inverse of WireReader). */
-class WireWriter
-{
-  public:
-    void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-    void boolean(bool v) { u8(v ? 1 : 0); }
-    void varint(std::uint64_t v);
-    /** Zigzag-coded signed varint. */
-    void svarint(std::int64_t v);
-    /** Raw IEEE-754 bit pattern, 8 bytes little-endian. */
-    void f64(double v);
-    /** varint length + bytes. */
-    void str(const std::string &s);
-    void raw(const void *data, std::size_t size);
-
-    const std::string &buffer() const { return out_; }
-    std::string take() { return std::move(out_); }
-
-  private:
-    std::string out_;
-};
-
-/**
- * Bounds-checked cursor over a serialized buffer. Every read names
- * what it was reading so truncation errors localize the field.
- */
-class WireReader
-{
-  public:
-    WireReader(const void *data, std::size_t size)
-        : p_(static_cast<const unsigned char *>(data)), size_(size)
-    {}
-    explicit WireReader(const std::string &buf)
-        : WireReader(buf.data(), buf.size())
-    {}
-
-    std::uint8_t u8(const char *what);
-    /** Strict: only 0 and 1 are valid encodings. */
-    bool boolean(const char *what);
-    std::uint64_t varint(const char *what);
-    std::int64_t svarint(const char *what);
-    double f64(const char *what);
-    std::string str(const char *what);
-    void raw(void *dst, std::size_t size, const char *what);
-
-    std::size_t remaining() const { return size_ - pos_; }
-
-    /** Bytes consumed so far (for callers resuming an outer cursor). */
-    std::size_t consumed() const { return pos_; }
-
-    /** @throws WireError if any bytes remain unconsumed. */
-    void expectEnd(const char *what) const;
-
-  private:
-    const unsigned char *p_;
-    std::size_t size_;
-    std::size_t pos_ = 0;
-};
 
 // ---------------------------------------------------------------------
 // Struct encodings. Each encode/decode pair must consume exactly what

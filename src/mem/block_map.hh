@@ -321,6 +321,16 @@ class BlockSet
         return map_.emplace(key);
     }
 
+    /** Apply @p fn(addr) to every member (slot order — sort before
+     *  serializing). */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &[a, nothing] : map_)
+            fn(a);
+    }
+
   private:
     BlockMap<Nothing> map_;
 };

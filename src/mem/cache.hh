@@ -230,6 +230,63 @@ class CacheArray
         useCounter_ = 0;
     }
 
+    // -----------------------------------------------------------------
+    // Snapshot support. The warm-state snapshot codec serializes the
+    // exact replacement state (per-way LRU stamps plus the global use
+    // counter), so a restored array is bit-for-bit the array that was
+    // saved — same victims in the same order forever after.
+    // -----------------------------------------------------------------
+
+    /** Apply @p fn(flat_way_index, lru_stamp, line) to every valid
+     *  line, in flat way order (canonical for serialization). */
+    template <typename Fn>
+    void
+    forEachValidIndexed(Fn fn) const
+    {
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (tags_[i] != invalidTag)
+                fn(i, lruStamp_[i], lines_[i]);
+        }
+    }
+
+    std::uint64_t useCounter() const { return useCounter_; }
+    void setUseCounter(std::uint64_t v) { useCounter_ = v; }
+
+    /** Total number of ways (the flat index space). */
+    std::size_t wayCount() const { return tags_.size(); }
+
+    /** True iff flat way @p i could legally hold block @p ba (the way
+     *  is in the block's set). For snapshot-decode validation. */
+    bool
+    wayMatchesSet(std::size_t i, Addr ba) const
+    {
+        return i >= setBase(ba) && i < setBase(ba) + params_.assoc;
+    }
+
+    bool wayValid(std::size_t i) const { return tags_[i] != invalidTag; }
+
+    /**
+     * Install block @p ba into flat way @p i with LRU stamp @p stamp.
+     * The caller (the snapshot decoder) must have validated the way
+     * index, set membership, vacancy, and absence of the block; those
+     * preconditions are asserted here, not checked.
+     */
+    Line *
+    restoreWay(std::size_t i, Addr ba, std::uint64_t stamp)
+    {
+        assert(i < tags_.size());
+        assert(wayMatchesSet(i, ba));
+        assert(tags_[i] == invalidTag && "restore into an occupied way");
+        assert(!contains(ba) && "restore of a block already present");
+        tags_[i] = ba;
+        lruStamp_[i] = stamp;
+        Line &l = lines_[i];
+        l = Line{};
+        l.addr = ba;
+        l.valid = true;
+        return &l;
+    }
+
   private:
     /** Tag value of an unallocated way (never a block address: block
      *  addresses are block-aligned, all-ones is not). */

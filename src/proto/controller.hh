@@ -22,10 +22,151 @@
 #include "net/message.hh"
 #include "proto/context.hh"
 #include "proto/types.hh"
+#include "sim/bytes.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
 
 namespace tokensim {
+
+class CacheController;
+class MemoryController;
+
+/**
+ * Exact per-block index of which caches hold coherence state for a
+ * block. Profiling shows functional fast-forward is dominated not by
+ * its own bookkeeping but by the O(numNodes) peer-tag probes of the
+ * miss path — each probe walks a cold set of another node's tag
+ * array. The index bounds those walks to the handful of actual
+ * holders: the first miss that needs a scan pays the full walk once
+ * (via the @p scan callback) and every later miss on that block
+ * probes only the recorded holders.
+ *
+ * The index is exact, not advisory. One env lives for the duration of
+ * one System::fastForward call, and while it lives every mutation of
+ * cache-resident block state flows through the protocol's functional
+ * path, which keeps the list current through add()/drop(). Detailed
+ * windows between fast-forward spans move state over the network,
+ * invisibly to any index — which is why the env (and the index with
+ * it) is rebuilt per call rather than kept on the System.
+ *
+ * Per block the index stores a small fixed list of holder ids — node
+ * count does not bound it, so it keeps working at the wide tiers
+ * where it matters most. A block shared more widely than the list
+ * capacity overflows, and overflow means "probe everyone": the scan
+ * falls back to the full walk for that block, never to a wrong
+ * answer.
+ */
+class HolderIndex
+{
+  public:
+    /** Most blocks have a handful of sharers; hot widely-shared
+     *  blocks overflow and take the full walk. */
+    static constexpr unsigned cap = 14;
+
+    /** Snapshot of one block's holder list. Copied out because the
+     *  caller mutates the index (drop/add) while it walks the list. */
+    struct View
+    {
+        std::uint16_t ids[cap];
+        unsigned n = 0;
+        bool overflow = false;
+    };
+
+    /**
+     * The holder list for @p ba. On first use runs @p scan(push) —
+     * which must call push(id) for every cache currently holding
+     * state for the block, the requester included — and remembers
+     * the result.
+     */
+    template <typename Scan>
+    View
+    holders(Addr ba, Scan &&scan)
+    {
+        auto [it, inserted] = sets_.emplace(ba);
+        if (inserted) {
+            it->second = Entry{};
+            Entry &e = it->second;
+            scan([&e](NodeId id) { push(e, id); });
+        }
+        const Entry &e = it->second;
+        View v;
+        v.n = e.n;
+        v.overflow = e.overflow;
+        for (unsigned i = 0; i < e.n; ++i)
+            v.ids[i] = e.ids[i];
+        return v;
+    }
+
+    /** Record that cache @p id now holds state for @p ba. */
+    void
+    add(Addr ba, NodeId id)
+    {
+        auto it = sets_.find(ba);
+        if (it != sets_.end())
+            push(it->second, id);
+    }
+
+    /** Record that cache @p id no longer holds state for @p ba. */
+    void
+    drop(Addr ba, NodeId id)
+    {
+        auto it = sets_.find(ba);
+        if (it == sets_.end())
+            return;
+        Entry &e = it->second;
+        if (e.overflow)
+            return;     // membership unknown; stays "probe everyone"
+        for (unsigned i = 0; i < e.n; ++i) {
+            if (e.ids[i] == id) {
+                e.ids[i] = e.ids[--e.n];
+                return;
+            }
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint16_t ids[cap];
+        std::uint16_t n = 0;
+        bool overflow = false;
+    };
+
+    static void
+    push(Entry &e, NodeId id)
+    {
+        if (e.overflow)
+            return;
+        for (unsigned i = 0; i < e.n; ++i)
+            if (e.ids[i] == id)
+                return;
+        if (e.n == cap) {
+            e.overflow = true;
+            return;
+        }
+        e.ids[e.n++] = static_cast<std::uint16_t>(id);
+    }
+
+    BlockMap<Entry> sets_;
+};
+
+/**
+ * The whole-system view a functional fast-forward op runs against.
+ * Fast-forward bypasses the network entirely: the requesting cache
+ * controller reaches straight into its peers and the home memory and
+ * moves the architectural state (lines, tokens, directory entries) to
+ * the protocol's post-transaction fixpoint. Controllers are indexed by
+ * node id; every element belongs to the same protocol family, so
+ * implementations may static_cast to their own concrete type.
+ */
+struct FunctionalEnv
+{
+    std::vector<CacheController *> caches;
+    std::vector<MemoryController *> memories;
+
+    /** Peer-scan accelerator (exact; see HolderIndex). */
+    HolderIndex holders;
+};
 
 /** Common plumbing for cache and memory controllers. */
 class ControllerBase
@@ -156,6 +297,64 @@ class CacheController : public ControllerBase
     virtual void resetState(const ProtocolParams &params,
                             std::uint64_t seed) = 0;
 
+    /**
+     * Apply one processor operation functionally: update the
+     * architectural warm state (cache tags/LRU/data, token counts,
+     * directory entries, backing stores — across the whole @p env, not
+     * just this node) to the state the detailed protocol would reach
+     * once the transaction and its side effects quiesced, without
+     * sending messages, scheduling events, touching timers/RNGs, or
+     * recording statistics. Requires a quiescent system (no
+     * outstanding transactions, empty writeback buffers and home
+     * queues); System::fastForward() guarantees that by draining the
+     * event queue first. Returns the post-operation block value (the
+     * value a ProcResponse would carry).
+     *
+     * Performance-policy soft state that only detailed timing
+     * exercises (reissue-latency EWMAs, destination predictors,
+     * adaptive filters) is deliberately left cold — the SMARTS
+     * sampling model treats it as part of the detailed warm-up, not
+     * the architectural state.
+     */
+    virtual std::uint64_t
+    applyFunctional(const ProcRequest &req, FunctionalEnv &env)
+    {
+        (void)req;
+        (void)env;
+        throw std::logic_error(
+            "applyFunctional not implemented for this protocol");
+    }
+
+    /**
+     * Serialize this controller's architectural warm state (cache
+     * lines with exact LRU stamps, predictor/coherence side tables)
+     * for the warm-state snapshot codec. Requires quiescence — no
+     * outstanding transactions or buffered writebacks; implementations
+     * throw WireError otherwise. The encoding must be canonical
+     * (BlockMap-backed state sorted by address) so identical states
+     * produce identical bytes.
+     */
+    virtual void
+    encodeWarmState(WireWriter &w) const
+    {
+        (void)w;
+        throw WireError(
+            "warm-state snapshots unsupported by this protocol");
+    }
+
+    /**
+     * Inverse of encodeWarmState() into a freshly-reset controller.
+     * Malformed input throws WireError; the controller may be left
+     * partially populated (callers discard it on failure).
+     */
+    virtual void
+    decodeWarmState(WireReader &r)
+    {
+        (void)r;
+        throw WireError(
+            "warm-state snapshots unsupported by this protocol");
+    }
+
     void setCompletionCallback(CompletionFn fn) { complete_ = std::move(fn); }
     void setLineRemovedCallback(LineRemovedFn fn) { removed_ = std::move(fn); }
 
@@ -205,6 +404,25 @@ class MemoryController : public ControllerBase
      *  compatible) @p params; memory controllers carry no RNG,
      *  hence no seed (reusable-System path). */
     virtual void resetState(const ProtocolParams &params) = 0;
+
+    /** See CacheController::encodeWarmState — home-side warm state
+     *  (backing store, directory/owner/token tables). */
+    virtual void
+    encodeWarmState(WireWriter &w) const
+    {
+        (void)w;
+        throw WireError(
+            "warm-state snapshots unsupported by this protocol");
+    }
+
+    /** See CacheController::decodeWarmState. */
+    virtual void
+    decodeWarmState(WireReader &r)
+    {
+        (void)r;
+        throw WireError(
+            "warm-state snapshots unsupported by this protocol");
+    }
 };
 
 /**
@@ -243,6 +461,10 @@ class BackingStore
 
     /** Forget all writes (blocks revert to their initial values). */
     void clear() { data_.clear(); }
+
+    /** Written blocks, for snapshot iteration (slot order — sort by
+     *  address before serializing). */
+    const BlockMap<std::uint64_t> &blocks() const { return data_; }
 
   private:
     Addr

@@ -598,4 +598,274 @@ DirMemory::view(Addr addr) const
     return v;
 }
 
+// =====================================================================
+// Fast-forward and warm-state snapshots
+// =====================================================================
+
+DirLine *
+DirCache::functionalAlloc(Addr ba, FunctionalEnv &env)
+{
+    CacheArray<DirLine>::Victim victim;
+    DirLine *line = l2_.allocate(ba, &victim);
+    if (victim.valid) {
+        const DirLine &v = victim.line;
+        notifyLineRemoved(v.addr);
+        if (v.state == DirCacheState::M || v.state == DirCacheState::O) {
+            // The PutM, settled: data lands at the home, whose owner
+            // check mirrors the detailed stale-writeback filter.
+            auto *mem = static_cast<DirMemory *>(
+                env.memories[ctx_.home(v.addr)]);
+            DirMemory::DirEntry &e = mem->entryFor(v.addr);
+            if (e.owner == id_) {
+                mem->store_.write(v.addr, v.data);
+                e.owner = invalidNode;
+            }
+        }
+        // S/I drop silently; the directory's sharer list stays
+        // conservative, exactly as in detailed mode.
+    }
+    return line;
+}
+
+std::uint64_t
+DirCache::applyFunctional(const ProcRequest &req, FunctionalEnv &env)
+{
+    const Addr ba = ctx_.blockAlign(req.addr);
+    const bool is_store = req.op == MemOp::store;
+    assert(outstanding_.empty() && wbBuffer_.empty() &&
+           "fast-forward requires a quiescent cache");
+
+    DirLine *line = l2_.touch(ba);
+    const bool hit = line &&
+        (is_store ? line->state == DirCacheState::M
+                  : line->state != DirCacheState::I);
+    if (hit) {
+        if (is_store) {
+            line->data = req.storeValue;
+            line->written = true;
+            return req.storeValue;
+        }
+        return line->data;
+    }
+
+    auto *mem = static_cast<DirMemory *>(env.memories[ctx_.home(ba)]);
+    DirMemory::DirEntry &e = mem->entryFor(ba);
+    assert(!e.busy && e.queue.empty() &&
+           "fast-forward requires an idle directory");
+
+    if (!is_store) {
+        // GetS. The directory supplies memory data or forwards to the
+        // owner; a written migratory owner hands over exclusively.
+        std::uint64_t value;
+        if (e.owner == invalidNode) {
+            value = mem->store_.read(ba);
+        } else {
+            assert(e.owner != id_ &&
+                   "load miss while the directory says we own it");
+            auto *oc = static_cast<DirCache *>(env.caches[e.owner]);
+            DirLine *ol = oc->l2_.find(ba);
+            assert(ol && (ol->state == DirCacheState::M ||
+                          ol->state == DirCacheState::O));
+            value = ol->data;
+            if (ol->state == DirCacheState::M && ol->written &&
+                params_.migratoryOpt) {
+                // Migratory handoff: we take M, the owner drops.
+                oc->notifyLineRemoved(ba);
+                oc->l2_.invalidate(ba);
+                e.owner = id_;
+                e.sharers.clear();
+                DirLine *nl = line ? line : functionalAlloc(ba, env);
+                nl->state = DirCacheState::M;
+                nl->written = false;
+                nl->data = value;
+                return value;
+            }
+            ol->state = DirCacheState::O;
+        }
+        e.sharers.insert(id_);
+        DirLine *nl = line ? line : functionalAlloc(ba, env);
+        nl->state = DirCacheState::S;
+        nl->written = false;
+        nl->data = value;
+        return value;
+    }
+
+    // GetM: sharers invalidate, the owner (us on an upgrade, a peer,
+    // or memory) supplies data, and the directory records us as the
+    // exclusive owner.
+    for (NodeId s : e.sharers) {
+        if (s == id_)
+            continue;
+        auto *sc = static_cast<DirCache *>(env.caches[s]);
+        if (sc->l2_.find(ba)) {
+            sc->notifyLineRemoved(ba);
+            sc->l2_.invalidate(ba);
+        }
+        // Silently dropped sharer copies just ack in detailed mode.
+    }
+    if (e.owner != invalidNode && e.owner != id_) {
+        auto *oc = static_cast<DirCache *>(env.caches[e.owner]);
+        [[maybe_unused]] DirLine *ol = oc->l2_.find(ba);
+        assert(ol && (ol->state == DirCacheState::M ||
+                      ol->state == DirCacheState::O));
+        oc->notifyLineRemoved(ba);
+        oc->l2_.invalidate(ba);
+    }
+    // An upgrade (e.owner == id_) keeps local data; otherwise the
+    // incoming data is immediately overwritten by the store anyway.
+    e.owner = id_;
+    e.sharers.clear();
+
+    DirLine *nl = line ? line : functionalAlloc(ba, env);
+    nl->state = DirCacheState::M;
+    nl->written = true;
+    nl->data = req.storeValue;
+    return req.storeValue;
+}
+
+void
+DirCache::encodeWarmState(WireWriter &w) const
+{
+    if (!quiescent())
+        throw WireError("directory cache has transactions in flight");
+    w.varint(l2_.useCounter());
+    w.varint(l2_.validCount());
+    l2_.forEachValidIndexed(
+        [&](std::size_t way, std::uint64_t stamp, const DirLine &l) {
+            w.varint(way);
+            w.varint(stamp);
+            w.varint(l.addr);
+            w.u8(static_cast<std::uint8_t>(l.state));
+            w.boolean(l.written);
+            w.varint(l.data);
+        });
+    putStructEnd(w);
+}
+
+void
+DirCache::decodeWarmState(WireReader &r)
+{
+    l2_.setUseCounter(r.varint("l2 use counter"));
+    const std::uint64_t count = r.varint("l2 line count");
+    if (count > l2_.wayCount())
+        throw WireError("l2 line count exceeds the array's ways");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t way = r.varint("l2 way index");
+        const std::uint64_t stamp = r.varint("l2 lru stamp");
+        const Addr addr = r.varint("l2 line address");
+        const std::uint8_t state = r.u8("dir line state");
+        const bool written = r.boolean("dir line written");
+        const std::uint64_t data = r.varint("dir line data");
+        if (way >= l2_.wayCount())
+            throw WireError("l2 way index out of range");
+        if (l2_.wayValid(way))
+            throw WireError("duplicate l2 way in snapshot");
+        if (ctx_.blockAlign(addr) != addr)
+            throw WireError("l2 line address not block-aligned");
+        if (!l2_.wayMatchesSet(way, addr))
+            throw WireError("l2 line mapped to the wrong set");
+        if (l2_.contains(addr))
+            throw WireError("duplicate l2 block in snapshot");
+        if (stamp > l2_.useCounter())
+            throw WireError("l2 lru stamp exceeds the use counter");
+        if (state < 1 || state > 3)
+            throw WireError("invalid directory line state");
+        DirLine *l = l2_.restoreWay(static_cast<std::size_t>(way),
+                                    addr, stamp);
+        l->state = static_cast<DirCacheState>(state);
+        l->written = written;
+        l->data = data;
+    }
+    checkStructEnd(r, "directory cache warm state");
+}
+
+void
+DirMemory::encodeWarmState(WireWriter &w) const
+{
+    std::vector<std::pair<Addr, std::uint64_t>> written;
+    for (const auto &[a, v] : store_.blocks()) {
+        if (v != BackingStore::initialValue(a))
+            written.emplace_back(a, v);
+    }
+    std::sort(written.begin(), written.end());
+    w.varint(written.size());
+    for (const auto &[a, v] : written) {
+        w.varint(a);
+        w.varint(v);
+    }
+
+    std::vector<Addr> live;
+    for (const auto &[a, e] : entries_) {
+        if (e.busy || !e.queue.empty())
+            throw WireError("directory has transactions in flight");
+        if (e.owner != invalidNode || !e.sharers.empty())
+            live.push_back(a);
+    }
+    std::sort(live.begin(), live.end());
+    w.varint(live.size());
+    for (Addr a : live) {
+        const DirEntry &e = entries_.find(a)->second;
+        w.varint(a);
+        w.boolean(e.owner != invalidNode);
+        if (e.owner != invalidNode)
+            w.varint(e.owner);
+        w.varint(e.sharers.size());
+        for (NodeId s : e.sharers)   // std::set: already ascending
+            w.varint(s);
+    }
+    putStructEnd(w);
+}
+
+void
+DirMemory::decodeWarmState(WireReader &r)
+{
+    const std::uint64_t nwritten = r.varint("written block count");
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < nwritten; ++i) {
+        const Addr a = r.varint("written block address");
+        const std::uint64_t v = r.varint("written block value");
+        if (ctx_.blockAlign(a) != a)
+            throw WireError("written block not block-aligned");
+        if (ctx_.home(a) != id_)
+            throw WireError("written block homed elsewhere");
+        if (i > 0 && a <= prev)
+            throw WireError("written blocks not strictly ascending");
+        prev = a;
+        store_.write(a, v);
+    }
+    const std::uint64_t nentries = r.varint("directory entry count");
+    prev = 0;
+    for (std::uint64_t i = 0; i < nentries; ++i) {
+        const Addr a = r.varint("directory entry address");
+        if (ctx_.blockAlign(a) != a)
+            throw WireError("directory entry not block-aligned");
+        if (ctx_.home(a) != id_)
+            throw WireError("directory entry homed elsewhere");
+        if (i > 0 && a <= prev)
+            throw WireError("directory entries not strictly ascending");
+        prev = a;
+        DirEntry &e = entries_[a];
+        if (r.boolean("directory entry has owner")) {
+            const std::uint64_t o = r.varint("directory entry owner");
+            if (o >= static_cast<std::uint64_t>(ctx_.numNodes))
+                throw WireError("directory owner is an invalid node");
+            e.owner = static_cast<NodeId>(o);
+        }
+        const std::uint64_t ns = r.varint("directory sharer count");
+        if (ns > static_cast<std::uint64_t>(ctx_.numNodes))
+            throw WireError("directory sharer count exceeds nodes");
+        NodeId sprev = 0;
+        for (std::uint64_t j = 0; j < ns; ++j) {
+            const std::uint64_t s = r.varint("directory sharer");
+            if (s >= static_cast<std::uint64_t>(ctx_.numNodes))
+                throw WireError("directory sharer is an invalid node");
+            if (j > 0 && s <= sprev)
+                throw WireError("directory sharers not ascending");
+            sprev = static_cast<NodeId>(s);
+            e.sharers.insert(static_cast<NodeId>(s));
+        }
+    }
+    checkStructEnd(r, "directory memory warm state");
+}
+
 } // namespace tokensim

@@ -64,6 +64,11 @@ class DirCache : public CacheController
     void resetState(const ProtocolParams &params,
                     std::uint64_t seed) override;
 
+    std::uint64_t applyFunctional(const ProcRequest &req,
+                                  FunctionalEnv &env) override;
+    void encodeWarmState(WireWriter &w) const override;
+    void decodeWarmState(WireReader &r) override;
+
     DirCacheState state(Addr addr) const;
 
     bool
@@ -97,6 +102,10 @@ class DirCache : public CacheController
 
     DirLine *allocLine(Addr addr);
     void evictVictim(const DirLine &victim);
+
+    /** Fast-forward allocation: retire any victim by moving its state
+     *  functionally (no PutM message). */
+    DirLine *functionalAlloc(Addr ba, FunctionalEnv &env);
     void respondData(NodeId dest, Addr addr, std::uint64_t value,
                      bool exclusive, int ack_count);
     void sendUnblock(Addr addr, bool exclusive);
@@ -121,6 +130,9 @@ class DirMemory : public MemoryController
     std::uint64_t peekData(Addr addr) const override;
     void resetState(const ProtocolParams &params) override;
 
+    void encodeWarmState(WireWriter &w) const override;
+    void decodeWarmState(WireReader &r) override;
+
     /** Directory's view of a block (tests). */
     struct DirView
     {
@@ -141,6 +153,10 @@ class DirMemory : public MemoryController
     }
 
   private:
+    /** Fast-forward reaches straight into the directory entries and
+     *  backing store. */
+    friend class DirCache;
+
     struct DirEntry
     {
         NodeId owner = invalidNode;

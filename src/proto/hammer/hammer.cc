@@ -1,6 +1,8 @@
 #include "proto/hammer/hammer.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "sim/stats.hh"
 
@@ -494,6 +496,241 @@ std::uint64_t
 HammerMemory::peekData(Addr addr) const
 {
     return store_.read(ctx_.blockAlign(addr));
+}
+
+// =====================================================================
+// Fast-forward and warm-state snapshots
+// =====================================================================
+
+HammerLine *
+HammerCache::functionalAlloc(Addr ba, FunctionalEnv &env)
+{
+    CacheArray<HammerLine>::Victim victim;
+    HammerLine *line = l2_.allocate(ba, &victim);
+    if (victim.valid) {
+        const HammerLine &v = victim.line;
+        notifyLineRemoved(v.addr);
+        if (v.state == HammerState::M || v.state == HammerState::O) {
+            // The PutM, settled: the last-owner filter mirrors the
+            // detailed stale-writeback drop.
+            auto *mem = static_cast<HammerMemory *>(
+                env.memories[ctx_.home(v.addr)]);
+            HammerMemory::HomeEntry &e = mem->entryFor(v.addr);
+            if (e.owner == id_) {
+                mem->store_.write(v.addr, v.data);
+                e.owner = invalidNode;
+            }
+        }
+    }
+    return line;
+}
+
+std::uint64_t
+HammerCache::applyFunctional(const ProcRequest &req, FunctionalEnv &env)
+{
+    const Addr ba = ctx_.blockAlign(req.addr);
+    const bool is_store = req.op == MemOp::store;
+    assert(outstanding_.empty() && wbBuffer_.empty() &&
+           "fast-forward requires a quiescent cache");
+
+    HammerLine *line = l2_.touch(ba);
+    const bool hit = line &&
+        (is_store ? line->state == HammerState::M
+                  : line->state != HammerState::I);
+    if (hit) {
+        if (is_store) {
+            line->data = req.storeValue;
+            line->written = true;
+            return req.storeValue;
+        }
+        return line->data;
+    }
+
+    auto *mem = static_cast<HammerMemory *>(env.memories[ctx_.home(ba)]);
+    HammerMemory::HomeEntry &e = mem->entryFor(ba);
+    assert(!e.busy && e.queue.empty() &&
+           "fast-forward requires an idle home");
+
+    if (!is_store) {
+        // GetS probes every cache; the M/O owner supplies data (a
+        // written migratory M owner hands over exclusively), else the
+        // speculative memory read wins.
+        for (CacheController *c : env.caches) {
+            if (c == this)
+                continue;
+            auto *hc = static_cast<HammerCache *>(c);
+            HammerLine *ol = hc->l2_.find(ba);
+            if (!ol || (ol->state != HammerState::M &&
+                        ol->state != HammerState::O))
+                continue;
+            const std::uint64_t value = ol->data;
+            if (ol->state == HammerState::M && ol->written &&
+                params_.migratoryOpt) {
+                hc->notifyLineRemoved(ba);
+                hc->l2_.invalidate(ba);
+                e.owner = id_;   // exclusive unblock
+                HammerLine *nl = line ? line : functionalAlloc(ba, env);
+                nl->state = HammerState::M;
+                nl->written = false;
+                nl->data = value;
+                return value;
+            }
+            if (ol->state == HammerState::M)
+                ol->state = HammerState::O;
+            HammerLine *nl = line ? line : functionalAlloc(ba, env);
+            nl->state = HammerState::S;
+            nl->written = false;
+            nl->data = value;
+            return value;
+        }
+        const std::uint64_t value = mem->store_.read(ba);
+        HammerLine *nl = line ? line : functionalAlloc(ba, env);
+        nl->state = HammerState::S;
+        nl->written = false;
+        nl->data = value;
+        return value;
+    }
+
+    // GetM probes drop every peer copy; we take exclusive ownership.
+    for (CacheController *c : env.caches) {
+        if (c == this)
+            continue;
+        auto *hc = static_cast<HammerCache *>(c);
+        if (hc->l2_.find(ba)) {
+            hc->notifyLineRemoved(ba);
+            hc->l2_.invalidate(ba);
+        }
+    }
+    e.owner = id_;   // exclusive unblock
+
+    HammerLine *nl = line ? line : functionalAlloc(ba, env);
+    nl->state = HammerState::M;
+    nl->written = true;
+    nl->data = req.storeValue;
+    return req.storeValue;
+}
+
+void
+HammerCache::encodeWarmState(WireWriter &w) const
+{
+    if (!quiescent())
+        throw WireError("hammer cache has transactions in flight");
+    w.varint(l2_.useCounter());
+    w.varint(l2_.validCount());
+    l2_.forEachValidIndexed(
+        [&](std::size_t way, std::uint64_t stamp, const HammerLine &l) {
+            w.varint(way);
+            w.varint(stamp);
+            w.varint(l.addr);
+            w.u8(static_cast<std::uint8_t>(l.state));
+            w.boolean(l.written);
+            w.varint(l.data);
+        });
+    putStructEnd(w);
+}
+
+void
+HammerCache::decodeWarmState(WireReader &r)
+{
+    l2_.setUseCounter(r.varint("l2 use counter"));
+    const std::uint64_t count = r.varint("l2 line count");
+    if (count > l2_.wayCount())
+        throw WireError("l2 line count exceeds the array's ways");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t way = r.varint("l2 way index");
+        const std::uint64_t stamp = r.varint("l2 lru stamp");
+        const Addr addr = r.varint("l2 line address");
+        const std::uint8_t state = r.u8("hammer line state");
+        const bool written = r.boolean("hammer line written");
+        const std::uint64_t data = r.varint("hammer line data");
+        if (way >= l2_.wayCount())
+            throw WireError("l2 way index out of range");
+        if (l2_.wayValid(way))
+            throw WireError("duplicate l2 way in snapshot");
+        if (ctx_.blockAlign(addr) != addr)
+            throw WireError("l2 line address not block-aligned");
+        if (!l2_.wayMatchesSet(way, addr))
+            throw WireError("l2 line mapped to the wrong set");
+        if (l2_.contains(addr))
+            throw WireError("duplicate l2 block in snapshot");
+        if (stamp > l2_.useCounter())
+            throw WireError("l2 lru stamp exceeds the use counter");
+        if (state < 1 || state > 3)
+            throw WireError("invalid hammer line state");
+        HammerLine *l = l2_.restoreWay(static_cast<std::size_t>(way),
+                                       addr, stamp);
+        l->state = static_cast<HammerState>(state);
+        l->written = written;
+        l->data = data;
+    }
+    checkStructEnd(r, "hammer cache warm state");
+}
+
+void
+HammerMemory::encodeWarmState(WireWriter &w) const
+{
+    std::vector<std::pair<Addr, std::uint64_t>> written;
+    for (const auto &[a, v] : store_.blocks()) {
+        if (v != BackingStore::initialValue(a))
+            written.emplace_back(a, v);
+    }
+    std::sort(written.begin(), written.end());
+    w.varint(written.size());
+    for (const auto &[a, v] : written) {
+        w.varint(a);
+        w.varint(v);
+    }
+
+    std::vector<std::pair<Addr, NodeId>> owners;
+    for (const auto &[a, e] : entries_) {
+        if (e.busy || !e.queue.empty())
+            throw WireError("hammer home has transactions in flight");
+        if (e.owner != invalidNode)
+            owners.emplace_back(a, e.owner);
+    }
+    std::sort(owners.begin(), owners.end());
+    w.varint(owners.size());
+    for (const auto &[a, o] : owners) {
+        w.varint(a);
+        w.varint(o);
+    }
+    putStructEnd(w);
+}
+
+void
+HammerMemory::decodeWarmState(WireReader &r)
+{
+    const std::uint64_t nwritten = r.varint("written block count");
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < nwritten; ++i) {
+        const Addr a = r.varint("written block address");
+        const std::uint64_t v = r.varint("written block value");
+        if (ctx_.blockAlign(a) != a)
+            throw WireError("written block not block-aligned");
+        if (ctx_.home(a) != id_)
+            throw WireError("written block homed elsewhere");
+        if (i > 0 && a <= prev)
+            throw WireError("written blocks not strictly ascending");
+        prev = a;
+        store_.write(a, v);
+    }
+    const std::uint64_t nowners = r.varint("owner record count");
+    prev = 0;
+    for (std::uint64_t i = 0; i < nowners; ++i) {
+        const Addr a = r.varint("owner record address");
+        const std::uint64_t o = r.varint("owner record node");
+        if (ctx_.blockAlign(a) != a)
+            throw WireError("owner record not block-aligned");
+        if (ctx_.home(a) != id_)
+            throw WireError("owner record homed elsewhere");
+        if (i > 0 && a <= prev)
+            throw WireError("owner records not strictly ascending");
+        if (o >= static_cast<std::uint64_t>(ctx_.numNodes))
+            throw WireError("owner record names an invalid node");
+        prev = a;
+        entries_[a].owner = static_cast<NodeId>(o);
+    }
+    checkStructEnd(r, "hammer memory warm state");
 }
 
 } // namespace tokensim

@@ -69,6 +69,11 @@ class HammerCache : public CacheController
     void resetState(const ProtocolParams &params,
                     std::uint64_t seed) override;
 
+    std::uint64_t applyFunctional(const ProcRequest &req,
+                                  FunctionalEnv &env) override;
+    void encodeWarmState(WireWriter &w) const override;
+    void decodeWarmState(WireReader &r) override;
+
     HammerState state(Addr addr) const;
 
     bool
@@ -102,6 +107,10 @@ class HammerCache : public CacheController
 
     HammerLine *allocLine(Addr addr);
     void evictVictim(const HammerLine &victim);
+
+    /** Fast-forward allocation: retire any victim by moving its state
+     *  functionally (no PutM message). */
+    HammerLine *functionalAlloc(Addr ba, FunctionalEnv &env);
     void respondData(NodeId dest, Addr addr, std::uint64_t value,
                      bool exclusive);
     void respondAck(NodeId dest, Addr addr);
@@ -126,6 +135,9 @@ class HammerMemory : public MemoryController
     std::uint64_t peekData(Addr addr) const override;
     void resetState(const ProtocolParams &params) override;
 
+    void encodeWarmState(WireWriter &w) const override;
+    void decodeWarmState(WireReader &r) override;
+
     bool
     quiescent() const
     {
@@ -137,6 +149,10 @@ class HammerMemory : public MemoryController
     }
 
   private:
+    /** Fast-forward reaches straight into the owner table and backing
+     *  store. */
+    friend class HammerCache;
+
     struct HomeEntry
     {
         bool busy = false;

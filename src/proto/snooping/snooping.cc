@@ -1,6 +1,8 @@
 #include "proto/snooping/snooping.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "sim/stats.hh"
 
@@ -495,6 +497,283 @@ SnoopMemory::memoryOwns(Addr addr) const
 {
     auto it = blocks_.find(ctx_.blockAlign(addr));
     return it == blocks_.end() || it->second.owner == invalidNode;
+}
+
+// =====================================================================
+// Fast-forward and warm-state snapshots
+// =====================================================================
+
+SnoopLine *
+SnoopCache::functionalAlloc(Addr ba, FunctionalEnv &env)
+{
+    CacheArray<SnoopLine>::Victim victim;
+    SnoopLine *line = l2_.allocate(ba, &victim);
+    if (victim.valid) {
+        const SnoopLine &v = victim.line;
+        notifyLineRemoved(v.addr);
+        if (v.state == SnoopState::M || v.state == SnoopState::O) {
+            // The PutM/wbData exchange, settled: data lands at the
+            // home, which stops tracking us as owner (a stale-owner
+            // record — writeback overtaken by a GetM — never happens
+            // at quiescence, but mirror the detailed filter anyway).
+            auto *mem = static_cast<SnoopMemory *>(
+                env.memories[ctx_.home(v.addr)]);
+            SnoopMemory::MemBlock &mb = mem->blockFor(v.addr);
+            if (mb.owner == id_) {
+                mem->store_.write(v.addr, v.data);
+                mb.owner = invalidNode;
+            }
+        }
+    }
+    return line;
+}
+
+std::uint64_t
+SnoopCache::applyFunctional(const ProcRequest &req, FunctionalEnv &env)
+{
+    const Addr ba = ctx_.blockAlign(req.addr);
+    const bool is_store = req.op == MemOp::store;
+    assert(outstanding_.empty() && wbBuffer_.empty() &&
+           "fast-forward requires a quiescent cache");
+
+    SnoopLine *line = l2_.touch(ba);
+    const bool hit = line &&
+        (is_store ? line->state == SnoopState::M
+                  : line->state != SnoopState::I);
+    if (hit) {
+        if (is_store) {
+            line->data = req.storeValue;
+            line->written = true;
+            return req.storeValue;
+        }
+        return line->data;
+    }
+
+    // Miss. Same requester-side migratory prediction as request().
+    bool exclusive = is_store;
+    if (params_.migratoryOpt) {
+        if (is_store)
+            migratoryPred_.insert(ba);
+        else if (migratoryPred_.count(ba))
+            exclusive = true;
+    }
+
+    auto *mem = static_cast<SnoopMemory *>(env.memories[ctx_.home(ba)]);
+
+    if (!exclusive) {
+        // GetS: the owner — an M/O line somewhere, else the home
+        // memory — supplies data; an M owner downgrades to O.
+        std::uint64_t value;
+        SnoopCache *ownerCache = nullptr;
+        SnoopLine *ownerLine = nullptr;
+        for (CacheController *c : env.caches) {
+            if (c == this)
+                continue;
+            auto *sc = static_cast<SnoopCache *>(c);
+            SnoopLine *l = sc->l2_.find(ba);
+            if (l && (l->state == SnoopState::M ||
+                      l->state == SnoopState::O)) {
+                ownerCache = sc;
+                ownerLine = l;
+                break;
+            }
+        }
+        if (ownerLine) {
+            value = ownerLine->data;
+            if (ownerLine->state == SnoopState::M) {
+                ownerLine->state = SnoopState::O;
+                if (!ownerLine->written)
+                    ownerCache->migratoryPred_.erase(ba);
+            }
+        } else {
+            value = mem->store_.read(ba);
+        }
+        SnoopLine *nl = line ? line : functionalAlloc(ba, env);
+        nl->state = SnoopState::S;
+        nl->written = false;
+        nl->data = value;
+        return value;
+    }
+
+    // GetM: take data from the owner (our own O/M line, a peer's,
+    // else memory), drop every other copy, and become the memory's
+    // recorded owner — exactly the ordered-broadcast outcome.
+    std::uint64_t value = 0;
+    bool haveData = false;
+    if (line && (line->state == SnoopState::O ||
+                 line->state == SnoopState::M)) {
+        value = line->data;
+        haveData = true;
+    }
+    for (CacheController *c : env.caches) {
+        if (c == this)
+            continue;
+        auto *sc = static_cast<SnoopCache *>(c);
+        SnoopLine *l = sc->l2_.find(ba);
+        if (!l)
+            continue;
+        if (!haveData && (l->state == SnoopState::M ||
+                          l->state == SnoopState::O)) {
+            value = l->data;
+            haveData = true;
+        }
+        sc->notifyLineRemoved(ba);
+        sc->l2_.invalidate(ba);
+    }
+    if (!haveData)
+        value = mem->store_.read(ba);
+    mem->blockFor(ba).owner = id_;
+
+    SnoopLine *nl = line ? line : functionalAlloc(ba, env);
+    nl->state = SnoopState::M;
+    if (is_store) {
+        nl->written = true;
+        nl->data = req.storeValue;
+        return req.storeValue;
+    }
+    nl->written = false;
+    nl->data = value;
+    return value;
+}
+
+void
+SnoopCache::encodeWarmState(WireWriter &w) const
+{
+    if (!quiescent())
+        throw WireError("snooping cache has transactions in flight");
+    w.varint(l2_.useCounter());
+    w.varint(l2_.validCount());
+    l2_.forEachValidIndexed(
+        [&](std::size_t way, std::uint64_t stamp, const SnoopLine &l) {
+            w.varint(way);
+            w.varint(stamp);
+            w.varint(l.addr);
+            w.u8(static_cast<std::uint8_t>(l.state));
+            w.boolean(l.written);
+            w.varint(l.data);
+        });
+    std::vector<Addr> pred;
+    migratoryPred_.forEach([&](Addr a) { pred.push_back(a); });
+    std::sort(pred.begin(), pred.end());
+    w.varint(pred.size());
+    for (Addr a : pred)
+        w.varint(a);
+    putStructEnd(w);
+}
+
+void
+SnoopCache::decodeWarmState(WireReader &r)
+{
+    l2_.setUseCounter(r.varint("l2 use counter"));
+    const std::uint64_t count = r.varint("l2 line count");
+    if (count > l2_.wayCount())
+        throw WireError("l2 line count exceeds the array's ways");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t way = r.varint("l2 way index");
+        const std::uint64_t stamp = r.varint("l2 lru stamp");
+        const Addr addr = r.varint("l2 line address");
+        const std::uint8_t state = r.u8("snoop line state");
+        const bool written = r.boolean("snoop line written");
+        const std::uint64_t data = r.varint("snoop line data");
+        if (way >= l2_.wayCount())
+            throw WireError("l2 way index out of range");
+        if (l2_.wayValid(way))
+            throw WireError("duplicate l2 way in snapshot");
+        if (ctx_.blockAlign(addr) != addr)
+            throw WireError("l2 line address not block-aligned");
+        if (!l2_.wayMatchesSet(way, addr))
+            throw WireError("l2 line mapped to the wrong set");
+        if (l2_.contains(addr))
+            throw WireError("duplicate l2 block in snapshot");
+        if (stamp > l2_.useCounter())
+            throw WireError("l2 lru stamp exceeds the use counter");
+        if (state < 1 || state > 3)
+            throw WireError("invalid snooping line state");
+        SnoopLine *l = l2_.restoreWay(static_cast<std::size_t>(way),
+                                      addr, stamp);
+        l->state = static_cast<SnoopState>(state);
+        l->written = written;
+        l->data = data;
+    }
+    const std::uint64_t npred = r.varint("migratory predictor size");
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < npred; ++i) {
+        const Addr a = r.varint("migratory predictor entry");
+        if (ctx_.blockAlign(a) != a)
+            throw WireError("predictor entry not block-aligned");
+        if (i > 0 && a <= prev)
+            throw WireError("predictor entries not strictly ascending");
+        prev = a;
+        migratoryPred_.insert(a);
+    }
+    checkStructEnd(r, "snooping cache warm state");
+}
+
+void
+SnoopMemory::encodeWarmState(WireWriter &w) const
+{
+    std::vector<std::pair<Addr, std::uint64_t>> written;
+    for (const auto &[a, v] : store_.blocks()) {
+        if (v != BackingStore::initialValue(a))
+            written.emplace_back(a, v);
+    }
+    std::sort(written.begin(), written.end());
+    w.varint(written.size());
+    for (const auto &[a, v] : written) {
+        w.varint(a);
+        w.varint(v);
+    }
+
+    std::vector<std::pair<Addr, NodeId>> owners;
+    for (const auto &[a, mb] : blocks_) {
+        if (mb.wbPending || !mb.waiting.empty())
+            throw WireError("snooping memory has writebacks in flight");
+        if (mb.owner != invalidNode)
+            owners.emplace_back(a, mb.owner);
+    }
+    std::sort(owners.begin(), owners.end());
+    w.varint(owners.size());
+    for (const auto &[a, o] : owners) {
+        w.varint(a);
+        w.varint(o);
+    }
+    putStructEnd(w);
+}
+
+void
+SnoopMemory::decodeWarmState(WireReader &r)
+{
+    const std::uint64_t nwritten = r.varint("written block count");
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < nwritten; ++i) {
+        const Addr a = r.varint("written block address");
+        const std::uint64_t v = r.varint("written block value");
+        if (ctx_.blockAlign(a) != a)
+            throw WireError("written block not block-aligned");
+        if (ctx_.home(a) != id_)
+            throw WireError("written block homed elsewhere");
+        if (i > 0 && a <= prev)
+            throw WireError("written blocks not strictly ascending");
+        prev = a;
+        store_.write(a, v);
+    }
+    const std::uint64_t nowners = r.varint("owner record count");
+    prev = 0;
+    for (std::uint64_t i = 0; i < nowners; ++i) {
+        const Addr a = r.varint("owner record address");
+        const std::uint64_t o = r.varint("owner record node");
+        if (ctx_.blockAlign(a) != a)
+            throw WireError("owner record not block-aligned");
+        if (ctx_.home(a) != id_)
+            throw WireError("owner record homed elsewhere");
+        if (i > 0 && a <= prev)
+            throw WireError("owner records not strictly ascending");
+        if (o >= static_cast<std::uint64_t>(ctx_.numNodes))
+            throw WireError("owner record names an invalid node");
+        prev = a;
+        blocks_[a].owner = static_cast<NodeId>(o);
+    }
+    checkStructEnd(r, "snooping memory warm state");
 }
 
 } // namespace tokensim

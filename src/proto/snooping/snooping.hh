@@ -79,6 +79,11 @@ class SnoopCache : public CacheController
     void resetState(const ProtocolParams &params,
                     std::uint64_t seed) override;
 
+    std::uint64_t applyFunctional(const ProcRequest &req,
+                                  FunctionalEnv &env) override;
+    void encodeWarmState(WireWriter &w) const override;
+    void decodeWarmState(WireReader &r) override;
+
     /** Stable state of a block (tests). */
     SnoopState state(Addr addr) const;
 
@@ -120,6 +125,10 @@ class SnoopCache : public CacheController
     void respondData(NodeId dest, Addr addr, std::uint64_t value,
                      bool exclusive);
 
+    /** Allocate a line during fast-forward, retiring any victim by
+     *  moving its state functionally (no PutM broadcast). */
+    SnoopLine *functionalAlloc(Addr ba, FunctionalEnv &env);
+
     ProtocolParams params_;
     CacheArray<SnoopLine> l2_;
     BlockMap<Transaction> outstanding_;
@@ -146,10 +155,16 @@ class SnoopMemory : public MemoryController
     std::uint64_t peekData(Addr addr) const override;
     void resetState(const ProtocolParams &params) override;
 
+    void encodeWarmState(WireWriter &w) const override;
+    void decodeWarmState(WireReader &r) override;
+
     /** True if memory would respond to a request for @p addr. */
     bool memoryOwns(Addr addr) const;
 
   private:
+    /** Fast-forward reaches straight into the home's owner table and
+     *  backing store. */
+    friend class SnoopCache;
     struct MemBlock
     {
         NodeId owner = invalidNode;   ///< invalidNode = memory owns

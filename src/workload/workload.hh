@@ -47,6 +47,20 @@ class Workload
     /** Produce the next operation of this processor's stream. */
     virtual WorkloadOp next() = 0;
 
+    /**
+     * Discard the next @p n operations of the stream, leaving the
+     * generator exactly where @p n next() calls would have left it.
+     * Warm-state snapshot restore uses this to re-align a fresh
+     * workload with the operations the saved fast-forward consumed
+     * (trace replays wrap exactly like repeated next() does).
+     */
+    virtual void
+    skip(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n; ++i)
+            (void)next();
+    }
+
     /** Generator name for reports. */
     virtual std::string name() const = 0;
 };

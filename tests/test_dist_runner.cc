@@ -662,6 +662,18 @@ TEST(DistGolden, ReplayThroughWorkersReproducesCommittedDigests)
             specs.push_back(ExperimentSpec{
                 goldenConfig(proto, w), 1,
                 std::string(protocolName(proto)) + "/" + w});
+            // The sampled variants ride along (mirrors
+            // test_golden_traces.cc): fast-forward spans and window
+            // pooling must survive the worker round-trip bit for bit
+            // too.
+            SystemConfig sampled = goldenConfig(proto, w);
+            sampled.warmupOpsPerProcessor = 0;
+            sampled.opsPerProcessor = 0;
+            sampled.sampling = SamplingSpec{1000, 200, 4};
+            specs.push_back(ExperimentSpec{
+                sampled, 1,
+                "sampled-" + std::string(protocolName(proto)) + "/" +
+                    w});
         }
     }
 

@@ -106,6 +106,34 @@ replayCombo(ProtocolKind proto, const std::string &workload)
                             comboKey(proto, workload));
 }
 
+/**
+ * Sampled variants of the same replays: SMARTS-style fast-forward
+ * between detailed measurement windows, sized so the sampled run
+ * consumes exactly the committed traces' 4800 ops per node
+ * (4 windows x (1000 fast-forwarded + 200 detailed), no warmup).
+ * These digests pin the whole sampled machinery — the functional
+ * fast-forward path of every protocol, the phase scheduling, and the
+ * per-window metric pooling — separately from the detailed digests,
+ * so drift in either engine is attributed to the right one.
+ */
+std::string
+sampledComboKey(ProtocolKind proto, const std::string &workload)
+{
+    return "sampled-" + comboKey(proto, workload);
+}
+
+ExperimentResult
+sampledReplayCombo(ProtocolKind proto, const std::string &workload)
+{
+    SystemConfig cfg = goldenConfig(proto);
+    cfg.workload = WorkloadSpec::trace(tracePath(workload));
+    cfg.warmupOpsPerProcessor = 0;
+    cfg.opsPerProcessor = 0;
+    cfg.sampling = SamplingSpec{1000, 200, 4};
+    return aggregateResults({runOnce(cfg, cfg.seed)},
+                            sampledComboKey(proto, workload));
+}
+
 bool
 updateRequested()
 {
@@ -132,6 +160,13 @@ regenerate()
         for (const char *workload : kWorkloads) {
             out << comboKey(proto, workload) << " "
                 << resultDigest(replayCombo(proto, workload)) << "\n";
+        }
+    }
+    for (ProtocolKind proto : kProtocols) {
+        for (const char *workload : kWorkloads) {
+            out << sampledComboKey(proto, workload) << " "
+                << resultDigest(sampledReplayCombo(proto, workload))
+                << "\n";
         }
     }
 }
@@ -166,22 +201,27 @@ TEST(GoldenTraces, ReplayReproducesCommittedDigests)
 
     const std::map<std::string, std::string> expected = loadDigests();
     ASSERT_EQ(expected.size(),
-              std::size(kProtocols) * std::size(kWorkloads));
+              2 * std::size(kProtocols) * std::size(kWorkloads));
 
+    const auto check = [&expected](const std::string &key,
+                                   const ExperimentResult &r) {
+        SCOPED_TRACE(key);
+        const auto it = expected.find(key);
+        ASSERT_NE(it, expected.end())
+            << "no committed digest for " << key;
+        EXPECT_EQ(resultDigest(r), it->second)
+            << "behavioral drift detected: the replayed golden "
+               "trace no longer reproduces the committed result. "
+               "If this change is intentional, regenerate with "
+               "TOKENSIM_UPDATE_GOLDEN=1 and commit the new "
+               "artifacts.";
+    };
     for (ProtocolKind proto : kProtocols) {
         for (const char *workload : kWorkloads) {
-            const std::string key = comboKey(proto, workload);
-            SCOPED_TRACE(key);
-            const auto it = expected.find(key);
-            ASSERT_NE(it, expected.end())
-                << "no committed digest for " << key;
-            const ExperimentResult r = replayCombo(proto, workload);
-            EXPECT_EQ(resultDigest(r), it->second)
-                << "behavioral drift detected: the replayed golden "
-                   "trace no longer reproduces the committed result. "
-                   "If this change is intentional, regenerate with "
-                   "TOKENSIM_UPDATE_GOLDEN=1 and commit the new "
-                   "artifacts.";
+            check(comboKey(proto, workload),
+                  replayCombo(proto, workload));
+            check(sampledComboKey(proto, workload),
+                  sampledReplayCombo(proto, workload));
         }
     }
 }

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Gates for SMARTS-style sampled simulation and warm-state snapshots.
+ *
+ * The contracts pinned here:
+ *  - fast-forward conserves tokens (the auditor checks every touched
+ *    block) and leaves a state the detailed engine runs cleanly from,
+ *    for every protocol family;
+ *  - a sampled run is deterministic and bit-identical across the
+ *    serial loop, ParallelRunner, and DistRunner at several widths
+ *    (fast-forward must not introduce any scheduling sensitivity);
+ *  - saving a warm snapshot and restoring it into a fresh System is
+ *    bit-equivalent to performing the same fast-forward in place;
+ *  - one snapshot serves every timing config sharing the shape
+ *    fingerprint, and every bound-field mismatch is a typed error;
+ *  - sampled means land within a computed confidence band of the
+ *    full-run oracle on the commercial workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/dist_runner.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/snapshot.hh"
+#include "harness/system.hh"
+
+namespace tokensim {
+namespace {
+
+SystemConfig
+baseCfg(ProtocolKind proto, const char *wl = "oltp")
+{
+    SystemConfig cfg;
+    cfg.numNodes = 8;
+    cfg.topology =
+        proto == ProtocolKind::snooping ? "tree" : "torus";
+    cfg.protocol = proto;
+    cfg.workload = wl;
+    cfg.opsPerProcessor = 300;
+    cfg.seed = 41;
+    return cfg;
+}
+
+constexpr ProtocolKind snapshotFamilies[] = {
+    ProtocolKind::snooping, ProtocolKind::directory,
+    ProtocolKind::hammer, ProtocolKind::tokenB,
+    ProtocolKind::tokenD, ProtocolKind::tokenM,
+    ProtocolKind::tokenA, ProtocolKind::tokenNull,
+};
+
+std::shared_ptr<const std::string>
+share(std::string s)
+{
+    return std::make_shared<const std::string>(std::move(s));
+}
+
+// ---------------------------------------------------------------------
+// Fast-forward.
+// ---------------------------------------------------------------------
+
+TEST(FastForward, ConservesTokensAndRunsDetailedAfter)
+{
+    const ProtocolKind tokenProtos[] = {
+        ProtocolKind::tokenB, ProtocolKind::tokenD,
+        ProtocolKind::tokenM, ProtocolKind::tokenA,
+        ProtocolKind::tokenNull,
+    };
+    for (ProtocolKind proto : tokenProtos) {
+        SystemConfig cfg = baseCfg(proto);
+        cfg.attachAuditor = true;
+        cfg.opsPerProcessor = 200;
+        System sys(cfg);
+        sys.fastForward(2000);
+        std::string err;
+        EXPECT_TRUE(sys.auditor()->auditAll(&err))
+            << protocolName(proto) << " after fast-forward: " << err;
+        sys.run();
+        EXPECT_TRUE(sys.auditor()->auditAll(&err))
+            << protocolName(proto) << " after detailed run: " << err;
+        EXPECT_EQ(sys.results().ops(),
+                  static_cast<std::uint64_t>(cfg.numNodes) *
+                      cfg.opsPerProcessor);
+    }
+}
+
+TEST(FastForward, DetailedContinuationIsDeterministic)
+{
+    // FF K ops then run detailed, twice: bit-identical registries.
+    for (ProtocolKind proto : snapshotFamilies) {
+        SystemConfig cfg = baseCfg(proto);
+        auto once = [&cfg]() {
+            System sys(cfg);
+            sys.fastForward(1500);
+            sys.run();
+            return sys.results();
+        };
+        const System::Results a = once();
+        const System::Results b = once();
+        EXPECT_TRUE(a.metrics == b.metrics) << protocolName(proto);
+    }
+}
+
+TEST(FastForward, AdvancesWarmStateNotTime)
+{
+    SystemConfig cfg = baseCfg(ProtocolKind::tokenB);
+    System sys(cfg);
+    sys.fastForward(3000);
+    EXPECT_EQ(sys.eq().curTick(), Tick{0});
+    EXPECT_EQ(sys.sequencer(0).completedOps(), std::uint64_t{3000});
+    // Warm state exists: the L2 is populated.
+    std::uint64_t warmed = 0;
+    for (int i = 0; i < cfg.numNodes; ++i) {
+        for (Addr a = 0; a < 64 * 1024; a += cfg.blockBytes)
+            warmed += sys.cache(static_cast<NodeId>(i))
+                          .hasPermission(a, MemOp::load);
+    }
+    EXPECT_GT(warmed, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Sampled runs.
+// ---------------------------------------------------------------------
+
+TEST(Sampling, PoolsOneSamplePerWindow)
+{
+    SystemConfig cfg = baseCfg(ProtocolKind::tokenB);
+    cfg.sampling = SamplingSpec{400, 100, 4};
+    System sys(cfg);
+    sys.run();
+    const System::Results r = sys.results();
+    // Detailed ops only: windows * measureOps per node.
+    EXPECT_EQ(r.ops(), std::uint64_t{4 * 100 * 8});
+    // One cpt sample per window, so the pooled stat carries an
+    // across-window standard error.
+    EXPECT_GT(r.missLatency().count(), 0u);
+    EXPECT_EQ(r.metrics.statValue("cpt_ns").count(), std::uint64_t{4});
+}
+
+std::vector<ExperimentSpec>
+sampledMatrix()
+{
+    std::vector<ExperimentSpec> specs;
+    const ProtocolKind protos[] = {
+        ProtocolKind::tokenB, ProtocolKind::snooping,
+        ProtocolKind::directory, ProtocolKind::hammer,
+    };
+    for (ProtocolKind p : protos) {
+        SystemConfig cfg = baseCfg(p);
+        cfg.sampling = SamplingSpec{300, 100, 3};
+        specs.push_back(
+            ExperimentSpec{cfg, 2, protocolName(p)});
+    }
+    return specs;
+}
+
+void
+expectSameDigests(const std::vector<ExperimentResult> &a,
+                  const std::vector<ExperimentResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(identicalResults(a[i], b[i])) << a[i].label;
+        EXPECT_EQ(resultDigest(a[i]), resultDigest(b[i]));
+    }
+}
+
+TEST(Sampling, BitIdenticalAcrossParallelWidths)
+{
+    const std::vector<ExperimentSpec> specs = sampledMatrix();
+    const std::vector<ExperimentResult> serial =
+        ParallelRunner(ParallelRunnerOptions{1}).run(specs);
+    for (int threads : {2, 4}) {
+        expectSameDigests(
+            ParallelRunner(ParallelRunnerOptions{threads}).run(specs),
+            serial);
+    }
+}
+
+TEST(Sampling, BitIdenticalAcrossDistWidths)
+{
+    const std::vector<ExperimentSpec> specs = sampledMatrix();
+    const std::vector<ExperimentResult> serial =
+        ParallelRunner(ParallelRunnerOptions{1}).run(specs);
+    for (int workers : {1, 2, 4}) {
+        DistRunnerOptions opts;
+        opts.workers = workers;
+        expectSameDigests(DistRunner(std::move(opts)).run(specs),
+                          serial);
+    }
+}
+
+TEST(Sampling, RecordTraceIsRejected)
+{
+    SystemConfig cfg = baseCfg(ProtocolKind::tokenB);
+    cfg.sampling = SamplingSpec{100, 50, 2};
+    cfg.recordTrace = "/tmp/tokensim_sampling_reject.trace";
+    System sys(cfg);
+    EXPECT_THROW(sys.run(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Warm-state snapshots.
+// ---------------------------------------------------------------------
+
+TEST(Snapshot, SaveLoadEquivalentToWarmingInPlace)
+{
+    for (ProtocolKind proto : snapshotFamilies) {
+        SystemConfig cfg = baseCfg(proto);
+
+        System inPlace(cfg);
+        inPlace.fastForward(1500);
+
+        System producer(cfg);
+        producer.fastForward(1500);
+        SystemConfig warmed = cfg;
+        warmed.warmSnapshot = share(saveWarmSnapshot(producer));
+        System restored(warmed);
+
+        inPlace.run();
+        restored.run();
+        EXPECT_TRUE(inPlace.results().metrics ==
+                    restored.results().metrics)
+            << protocolName(proto);
+    }
+}
+
+TEST(Snapshot, RoundTripsThroughTheCodec)
+{
+    // decode(encode(x)) re-encodes to the identical bytes — the
+    // canonical-encoding contract the fuzz suite leans on.
+    for (ProtocolKind proto : snapshotFamilies) {
+        SystemConfig cfg = baseCfg(proto);
+        System a(cfg);
+        a.fastForward(1200);
+        const std::string snap = saveWarmSnapshot(a);
+
+        SystemConfig warmed = cfg;
+        warmed.warmSnapshot = share(snap);
+        System b(cfg);
+        ASSERT_TRUE(b.reset(warmed));
+        loadWarmSnapshot(b, snap);
+        EXPECT_EQ(saveWarmSnapshot(b), snap) << protocolName(proto);
+    }
+}
+
+TEST(Snapshot, ReusableAcrossTimingConfigs)
+{
+    // The reuse rule: one snapshot serves every config that differs
+    // only in timing knobs. The warmed runs must load cleanly and
+    // produce timing-dependent (different) results.
+    SystemConfig cfg = baseCfg(ProtocolKind::tokenB);
+    System producer(cfg);
+    producer.fastForward(2000);
+    const auto snap = share(saveWarmSnapshot(producer));
+
+    SystemConfig fast = cfg;
+    fast.warmSnapshot = snap;
+    SystemConfig slow = fast;
+    slow.net.linkLatency = nsToTicks(45);
+    slow.ctrlLatency = nsToTicks(12);
+
+    System a(fast);
+    a.run();
+    System b(slow);
+    b.run();
+    EXPECT_EQ(a.results().ops(), b.results().ops());
+    EXPECT_NE(a.results().runtimeTicks(), b.results().runtimeTicks());
+}
+
+TEST(Snapshot, FeedsSampledRuns)
+{
+    SystemConfig cfg = baseCfg(ProtocolKind::directory);
+    System producer(cfg);
+    producer.fastForward(1000);
+    SystemConfig warmed = cfg;
+    warmed.warmSnapshot = share(saveWarmSnapshot(producer));
+    warmed.sampling = SamplingSpec{200, 100, 3};
+    System sys(warmed);
+    sys.run();
+    EXPECT_EQ(sys.results().ops(), std::uint64_t{3 * 100 * 8});
+}
+
+TEST(Snapshot, EveryBoundFieldMismatchIsTyped)
+{
+    SystemConfig cfg = baseCfg(ProtocolKind::tokenB);
+    System producer(cfg);
+    producer.fastForward(500);
+    const auto snap = share(saveWarmSnapshot(producer));
+
+    const auto expectRejected = [&](SystemConfig bad) {
+        bad.warmSnapshot = snap;
+        System sys(bad);
+        EXPECT_THROW(sys.run(), SnapshotError);
+    };
+
+    SystemConfig c1 = cfg;
+    c1.seed = cfg.seed + 1;
+    expectRejected(c1);
+
+    SystemConfig c2 = cfg;
+    c2.workload = "uniform";
+    expectRejected(c2);
+
+    SystemConfig c3 = cfg;
+    c3.workload.storeFraction = 0.5;   // a preset knob is binding too
+    expectRejected(c3);
+
+    SystemConfig c4 = cfg;
+    c4.l2.sizeBytes = cfg.l2.sizeBytes / 2;
+    expectRejected(c4);
+
+    SystemConfig c5 = cfg;
+    c5.protocol = ProtocolKind::tokenD;
+    expectRejected(c5);
+
+    SystemConfig c6 = cfg;
+    c6.seq.l1Enabled = false;
+    expectRejected(c6);
+}
+
+TEST(Snapshot, LifecycleMisuseIsTyped)
+{
+    SystemConfig cfg = baseCfg(ProtocolKind::tokenB);
+    // Saving after detailed simulation ran.
+    System ran(cfg);
+    ran.run();
+    EXPECT_THROW(saveWarmSnapshot(ran), SnapshotError);
+    // Saving from a trace-recording System.
+    SystemConfig rec = cfg;
+    rec.recordTrace = "/tmp/tokensim_snapshot_reject.trace";
+    System recording(rec);
+    EXPECT_THROW(saveWarmSnapshot(recording), SnapshotError);
+    // Restoring into a trace-recording System.
+    System producer(cfg);
+    producer.fastForward(200);
+    rec.warmSnapshot = share(saveWarmSnapshot(producer));
+    System sys(rec);
+    EXPECT_THROW(sys.run(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Sampled accuracy against the full-run oracle.
+// ---------------------------------------------------------------------
+
+TEST(Sampling, MeansWithinConfidenceBandOfFullRun)
+{
+    // Equal total workload: the full run executes every op detailed;
+    // the sampled run fast-forwards 5/6 of them and measures windows.
+    // The sampled means must land inside a band computed from both
+    // runs' standard errors (with a small relative floor — these are
+    // finite runs of a bursty system, not i.i.d. samples).
+    for (const char *wl : {"oltp", "producer-consumer"}) {
+        SystemConfig full = baseCfg(ProtocolKind::tokenB, wl);
+        full.warmupOpsPerProcessor = 1000;
+        full.opsPerProcessor = 12000;
+
+        SystemConfig sampled = full;
+        sampled.opsPerProcessor = 0;
+        sampled.sampling = SamplingSpec{1250, 250, 8};
+
+        System fs(full);
+        fs.run();
+        System ss(sampled);
+        ss.run();
+        const System::Results fr = fs.results();
+        const System::Results sr = ss.results();
+
+        const RunningStat fml = fr.missLatency();
+        const RunningStat sml = sr.missLatency();
+        ASSERT_GT(fml.count(), 0u) << wl;
+        ASSERT_GT(sml.count(), 0u) << wl;
+        const double mlBand =
+            3.0 * (fml.stddev() / std::sqrt(double(fml.count())) +
+                   sml.stddev() / std::sqrt(double(sml.count()))) +
+            0.10 * fml.mean();
+        EXPECT_NEAR(sml.mean(), fml.mean(), mlBand) << wl;
+
+        const RunningStat scpt = sr.metrics.statValue("cpt_ns");
+        const double fcpt = fr.cyclesPerTransaction();
+        ASSERT_EQ(scpt.count(), 8u) << wl;
+        const double cptBand =
+            4.0 * scpt.stddev() / std::sqrt(double(scpt.count())) +
+            0.12 * fcpt;
+        EXPECT_NEAR(scpt.mean(), fcpt, cptBand) << wl;
+    }
+}
+
+} // namespace
+} // namespace tokensim
