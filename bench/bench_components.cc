@@ -25,6 +25,8 @@
 #include "sim/event_queue.hh"
 #include "workload/commercial.hh"
 #include "workload/trace.hh"
+#include "workload/tpcc.hh"
+#include "workload/ycsb.hh"
 
 namespace tokensim {
 namespace {
@@ -139,6 +141,33 @@ BM_ZipfSample(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfSample);
+
+void
+BM_YcsbGenerate(benchmark::State &state)
+{
+    // Per-op cost of the YCSB generator (scrambled-Zipf key pick +
+    // read/update/scan mix). Sequencers pull one op per completed
+    // access, so generator speed bounds functional fast-forward.
+    AddressMap map;
+    YcsbWorkload gen(0, 8, map, YcsbParams{}, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next().addr);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_YcsbGenerate);
+
+void
+BM_TpccGenerate(benchmark::State &state)
+{
+    // Per-op cost of the TPC-C-like generator (warehouse pick +
+    // transaction build amortized over its ops).
+    AddressMap map;
+    TpccWorkload gen(0, 8, map, TpccParams{}, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next().addr);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TpccGenerate);
 
 void
 BM_EventQueueSteadyState(benchmark::State &state)

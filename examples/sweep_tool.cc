@@ -35,11 +35,20 @@
  *   --protocols a,b,c  comma list (default tokenb,snooping)
  *   --workloads a,b    comma list of presets or trace:PATH entries
  *                      (default oltp)
+ *   --tenants p:N,p:N  multi-tenant mode: co-schedule these preset
+ *                      workloads on contiguous disjoint node groups
+ *                      (counts must sum to --nodes); replaces the
+ *                      --workloads axis and adds per-tenant
+ *                      diagnostic metrics to --metrics output
  *   --topology T       torus|tree (default: tree for snooping, else
  *                      torus)
  *   --nodes N          processors per system (default 8)
  *   --ops N            measured ops/processor (default 1000)
  *   --warmup N         warmup ops/processor (default 0)
+ *   --l2-kb N          L2 size per node in KB (default: Table 1's
+ *                      4096; small values make 256-1024-node sweeps
+ *                      fit in memory)
+ *   --l1-kb N          L1 size per node in KB (default 64)
  *   --sample FF:WIN:N  SMARTS-style sampling on every design point:
  *                      alternate FF fast-forwarded ops with WIN
  *                      detailed ops, N windows; --ops is ignored and
@@ -73,8 +82,8 @@
  *   --retries N        max reassignments of one shard after worker
  *                      failures (default 2)
  *   --shard-timeout MS per-shard hang deadline in ms; 0 = auto (10x
- *                      slowest completed shard, >= 10 s), -1 = off
- *                      (default 0)
+ *                      the slowest completed shard of the same
+ *                      design point, >= 10 s), -1 = off (default 0)
  *   --progress         stream shard/partial-aggregate lines (stderr;
  *                      checkpoint and worker-lifecycle lines print
  *                      regardless)
@@ -99,6 +108,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "harness/argparse.hh"
 #include "harness/dist_runner.hh"
 #include "harness/experiment.hh"
 #include "harness/parallel_runner.hh"
@@ -152,10 +162,14 @@ struct Options
 {
     std::vector<std::string> protocols{"tokenb", "snooping"};
     std::vector<std::string> workloads{"oltp"};
+    std::vector<TenantSpec> tenants;  // --tenants (empty: single)
+    std::string tenantsLabel;         // the --tenants text, for labels
     std::string topology;   // empty: per-protocol default
     int nodes = 8;
     std::uint64_t ops = 1000;
     std::uint64_t warmup = 0;
+    std::uint64_t l2Kb = 0;  // --l2-kb (0: Table 1 default)
+    std::uint64_t l1Kb = 0;  // --l1-kb (0: default)
     SamplingSpec sample;    // --sample FF:WIN:N (disabled: all zero)
     std::string snapshot;   // --snapshot PATH (empty: no snapshot)
     int seeds = 2;
@@ -191,12 +205,20 @@ printHelp(const char *argv0)
         "run options:\n"
         "  --protocols a,b,c   comma list (default tokenb,snooping)\n"
         "  --workloads a,b     presets or trace:PATH (default oltp)\n"
+        "  --tenants p:N,p:N   co-schedule preset workloads on "
+        "contiguous disjoint\n"
+        "                      node groups (counts sum to --nodes); "
+        "replaces the\n"
+        "                      --workloads axis\n"
         "  --topology T        torus|tree (default: tree for "
         "snooping, else torus)\n"
         "  --nodes N           processors per system (default %d)\n"
         "  --ops N             measured ops/processor (default "
         "%llu)\n"
         "  --warmup N          warmup ops/processor (default %llu)\n"
+        "  --l2-kb N           L2 KB per node (default: Table 1's "
+        "4096)\n"
+        "  --l1-kb N           L1 KB per node (default 64)\n"
         "  --sample FF:WIN:N   SMARTS sampling: N windows of FF "
         "fast-forwarded +\n"
         "                      WIN detailed ops per processor "
@@ -242,8 +264,9 @@ printHelp(const char *argv0)
         "  --retries N         max reassignments of one shard after "
         "worker failures (default %d)\n"
         "  --shard-timeout MS  per-shard hang deadline; 0 = auto "
-        "(10x slowest shard,\n"
-        "                      >= 10 s), -1 = off (default %ld)\n"
+        "(10x slowest shard of\n"
+        "                      that design point, >= 10 s), -1 = off "
+        "(default %ld)\n"
         "  --progress          stream per-shard progress to stderr\n"
         "  --stats             summary table after the run (stderr)\n"
         "  --metrics           dump merged metric registries "
@@ -268,14 +291,59 @@ parseSample(const std::string &s)
             "ops : windows), got \"" + s + "\"");
     }
     SamplingSpec spec;
-    spec.ffOps = std::stoull(s.substr(0, c1));
-    spec.measureOps = std::stoull(s.substr(c1 + 1, c2 - c1 - 1));
-    spec.windows = std::stoull(s.substr(c2 + 1));
-    if (!spec.enabled()) {
-        throw std::invalid_argument(
-            "--sample needs WIN >= 1 and N >= 1");
-    }
+    spec.ffOps = parseU64("--sample FF", s.substr(0, c1));
+    spec.measureOps =
+        parseU64("--sample WIN", s.substr(c1 + 1, c2 - c1 - 1), 1);
+    spec.windows = parseU64("--sample N", s.substr(c2 + 1), 1);
     return spec;
+}
+
+/**
+ * --tenants preset:N,preset:N -> contiguous tenant groups. Node
+ * counts must sum to --nodes (checked in buildMatrix, once both are
+ * parsed).
+ */
+std::vector<TenantSpec>
+parseTenants(const std::string &s)
+{
+    std::vector<TenantSpec> tenants;
+    for (const std::string &e : splitCommas(s)) {
+        const std::size_t colon = e.rfind(':');
+        if (colon == std::string::npos || colon == 0) {
+            throw std::invalid_argument(
+                "--tenants wants preset:N[,preset:N...], got \"" + s +
+                "\"");
+        }
+        TenantSpec t;
+        t.workload = WorkloadSpec(e.substr(0, colon));
+        t.nodes = static_cast<int>(parseU64(
+            "--tenants node count", e.substr(colon + 1), 1,
+            std::numeric_limits<int>::max()));
+        tenants.push_back(std::move(t));
+    }
+    return tenants;
+}
+
+/**
+ * Apply a --l2-kb/--l1-kb size override, keeping the set count a
+ * power of two (CacheArray's indexing requirement) — a clear error
+ * here instead of an assert inside the first shard.
+ */
+void
+applyCacheKb(const char *what, CacheParams &c, std::uint64_t kb)
+{
+    const std::uint64_t bytes = kb * 1024;
+    const std::uint64_t line = std::uint64_t{c.assoc} * c.blockBytes;
+    const std::uint64_t sets = bytes / line;
+    if (sets == 0 || bytes % line != 0 || (sets & (sets - 1)) != 0) {
+        throw std::invalid_argument(
+            std::string(what) + " " + std::to_string(kb) +
+            ": size must give a power-of-two number of " +
+            std::to_string(line) + "-byte sets (assoc " +
+            std::to_string(c.assoc) + " x " +
+            std::to_string(c.blockBytes) + "-byte blocks)");
+    }
+    c.sizeBytes = bytes;
 }
 
 Options
@@ -297,32 +365,39 @@ parseOptions(int argc, char **argv, int first)
             o.protocols = splitCommas(value());
         else if (a == "--workloads")
             o.workloads = splitCommas(value());
-        else if (a == "--topology")
+        else if (a == "--tenants") {
+            o.tenantsLabel = value();
+            o.tenants = parseTenants(o.tenantsLabel);
+        } else if (a == "--topology")
             o.topology = value();
         else if (a == "--nodes")
-            o.nodes = static_cast<int>(std::stol(value()));
+            o.nodes = parseInt(a, value(), 1);
         else if (a == "--ops")
-            o.ops = std::stoull(value());
+            o.ops = parseU64(a, value(), 1);
         else if (a == "--warmup")
-            o.warmup = std::stoull(value());
+            o.warmup = parseU64(a, value());
+        else if (a == "--l2-kb")
+            o.l2Kb = parseU64(a, value(), 1);
+        else if (a == "--l1-kb")
+            o.l1Kb = parseU64(a, value(), 1);
         else if (a == "--sample")
             o.sample = parseSample(value());
         else if (a == "--snapshot")
             o.snapshot = value();
         else if (a == "--seeds")
-            o.seeds = static_cast<int>(std::stol(value()));
+            o.seeds = parseInt(a, value(), 1);
         else if (a == "--seed")
-            o.seed = std::stoull(value());
+            o.seed = parseU64(a, value());
         else if (a == "--workers")
-            o.workers = static_cast<int>(std::stol(value()));
+            o.workers = parseInt(a, value(), 0);
         else if (a == "--hosts")
             o.hosts = value();
         else if (a == "--join-timeout")
-            o.joinTimeoutMs = std::stol(value());
+            o.joinTimeoutMs = parseI64(a, value(), -1);
         else if (a == "--hello-timeout")
-            o.helloTimeoutMs = std::stol(value());
+            o.helloTimeoutMs = parseI64(a, value(), 1);
         else if (a == "--threads")
-            o.threads = static_cast<int>(std::stol(value()));
+            o.threads = parseInt(a, value(), 0);
         else if (a == "--serial")
             o.serial = true;
         else if (a == "--fork-workers")
@@ -330,9 +405,9 @@ parseOptions(int argc, char **argv, int first)
         else if (a == "--checkpoint")
             o.checkpoint = value();
         else if (a == "--retries")
-            o.retries = static_cast<int>(std::stol(value()));
+            o.retries = parseInt(a, value(), 0);
         else if (a == "--shard-timeout")
-            o.shardTimeoutMs = std::stol(value());
+            o.shardTimeoutMs = parseI64(a, value(), -1);
         else if (a == "--help")
             o.help = true;
         else if (a == "--progress")
@@ -359,17 +434,40 @@ parseWorkload(const std::string &s)
 std::vector<ExperimentSpec>
 buildMatrix(const Options &o)
 {
+    if (!o.tenants.empty()) {
+        int total = 0;
+        for (const TenantSpec &t : o.tenants)
+            total += t.nodes;
+        if (total != o.nodes) {
+            throw std::invalid_argument(
+                "--tenants node counts sum to " +
+                std::to_string(total) + " but --nodes is " +
+                std::to_string(o.nodes));
+        }
+    }
     std::vector<ExperimentSpec> specs;
     for (const std::string &proto_name : o.protocols) {
         const ProtocolKind proto = parseProtocol(proto_name);
-        for (const std::string &w : o.workloads) {
+        // Multi-tenant mode replaces the workload axis: one design
+        // point per protocol, labeled with the tenant list.
+        const std::vector<std::string> wl_axis = o.tenants.empty()
+            ? o.workloads
+            : std::vector<std::string>{o.tenantsLabel};
+        for (const std::string &w : wl_axis) {
             SystemConfig cfg;
             cfg.numNodes = o.nodes;
             cfg.protocol = proto;
             cfg.topology = !o.topology.empty() ? o.topology
                 : proto == ProtocolKind::snooping ? "tree"
                                                   : "torus";
-            cfg.workload = parseWorkload(w);
+            if (o.tenants.empty())
+                cfg.workload = parseWorkload(w);
+            else
+                cfg.tenants = o.tenants;
+            if (o.l2Kb)
+                applyCacheKb("--l2-kb", cfg.l2, o.l2Kb);
+            if (o.l1Kb)
+                applyCacheKb("--l1-kb", cfg.seq.l1, o.l1Kb);
             cfg.opsPerProcessor = o.ops;
             cfg.warmupOpsPerProcessor = o.warmup;
             cfg.sampling = o.sample;
@@ -688,7 +786,7 @@ main(int argc, char **argv)
                 else if (a == "--listen")
                     listenEp = value();
                 else if (a == "--retry-ms")
-                    retryMs = std::stol(value());
+                    retryMs = parseI64(a, value(), 0);
                 else if (a == "--identity")
                     identity = value();
                 else

@@ -8,7 +8,8 @@ TokenMCache::TokenMCache(ProtoContext &ctx, NodeId id,
                          const ProtocolParams &params,
                          TokenAuditor *auditor, std::uint64_t seed)
     : TokenBCache(ctx, id, params, auditor, seed),
-      predictor_(params.predictorEntries, ctx.blockBytes)
+      predictor_(params.predictorEntries, ctx.blockBytes,
+                 ctx.numNodes)
 {
     tag_ = strformat("tokenm.%u", id);
 }

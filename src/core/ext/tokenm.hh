@@ -30,30 +30,33 @@ namespace tokensim {
 class DestSetPredictor
 {
   public:
-    DestSetPredictor(std::uint32_t entries, std::uint32_t block_bytes)
+    DestSetPredictor(std::uint32_t entries, std::uint32_t block_bytes,
+                     int num_nodes)
         : entries_(entries), blockBytes_(block_bytes),
-          table_(entries)
+          maskWords_((static_cast<std::size_t>(num_nodes) + 63) / 64),
+          tags_(entries, ~Addr{0}),
+          masks_(static_cast<std::size_t>(entries) * maskWords_, 0)
     {}
 
     /** Record that @p node holds (or will hold) tokens for @p addr. */
     void
     train(Addr addr, NodeId node)
     {
-        Entry &e = entryFor(addr);
+        const std::size_t idx = indexOf(addr);
         const Addr tag = addr / blockBytes_;
-        if (e.tag != tag) {
-            e.tag = tag;
-            e.mask = 0;
+        if (tags_[idx] != tag) {
+            tags_[idx] = tag;
+            clearMask(idx);
         }
-        if (node < 64)
-            e.mask |= (std::uint64_t{1} << node);
+        setBit(idx, node);
     }
 
     /** Forget all training (reusable-System path). */
     void
     clear()
     {
-        std::fill(table_.begin(), table_.end(), Entry{});
+        std::fill(tags_.begin(), tags_.end(), ~Addr{0});
+        std::fill(masks_.begin(), masks_.end(), 0);
     }
 
     /**
@@ -66,44 +69,65 @@ class DestSetPredictor
     void
     trainExclusive(Addr addr, NodeId node)
     {
-        Entry &e = entryFor(addr);
-        e.tag = addr / blockBytes_;
-        e.mask = node < 64 ? (std::uint64_t{1} << node) : 0;
+        const std::size_t idx = indexOf(addr);
+        tags_[idx] = addr / blockBytes_;
+        clearMask(idx);
+        setBit(idx, node);
     }
 
-    /** Predicted holder set for @p addr (may be empty). */
+    /** Predicted holder set for @p addr (may be empty), ascending. */
     std::vector<NodeId>
     predict(Addr addr) const
     {
         std::vector<NodeId> out;
-        const Entry &e = table_[indexOf(addr)];
-        if (e.tag != addr / blockBytes_)
+        const std::size_t idx = indexOf(addr);
+        if (tags_[idx] != addr / blockBytes_)
             return out;
-        for (NodeId n = 0; n < 64; ++n) {
-            if (e.mask & (std::uint64_t{1} << n))
-                out.push_back(n);
+        const std::uint64_t *mask = &masks_[idx * maskWords_];
+        for (std::size_t w = 0; w < maskWords_; ++w) {
+            std::uint64_t bits = mask[w];
+            while (bits) {
+                const int b = __builtin_ctzll(bits);
+                out.push_back(static_cast<NodeId>(w * 64 +
+                                                  std::size_t(b)));
+                bits &= bits - 1;
+            }
         }
         return out;
     }
 
   private:
-    struct Entry
-    {
-        Addr tag = ~Addr{0};
-        std::uint64_t mask = 0;
-    };
-
     std::size_t
     indexOf(Addr addr) const
     {
         return (addr / blockBytes_) % entries_;
     }
 
-    Entry &entryFor(Addr addr) { return table_[indexOf(addr)]; }
+    void
+    clearMask(std::size_t idx)
+    {
+        std::fill_n(masks_.begin() +
+                        static_cast<std::ptrdiff_t>(idx * maskWords_),
+                    maskWords_, 0);
+    }
+
+    void
+    setBit(std::size_t idx, NodeId node)
+    {
+        const auto n = static_cast<std::size_t>(node);
+        if (n < maskWords_ * 64)
+            masks_[idx * maskWords_ + n / 64] |=
+                std::uint64_t{1} << (n % 64);
+    }
 
     std::uint32_t entries_;
     std::uint32_t blockBytes_;
-    std::vector<Entry> table_;
+    /** 64-bit mask words per entry: ceil(numNodes / 64) — the fix for
+     *  the former single-word mask that silently dropped every node
+     *  >= 64 from trained destination sets. */
+    std::size_t maskWords_;
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> masks_;  ///< entries_ x maskWords_
 };
 
 /** TokenM cache controller: multicast to a predicted destination set. */

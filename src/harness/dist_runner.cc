@@ -522,7 +522,7 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
     int respawnsUsed = 0;
     int workerDeaths = 0;
     std::vector<int> spawnGen(nworkers, 0);
-    long maxObservedMs = -1;
+    std::vector<long> maxObservedMs(specs.size(), -1);
     std::unique_ptr<System> parentArena;   // in-process degradation
 
     // Fault injection (tests): applies only to forked workers whose
@@ -628,16 +628,31 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
     };
 
     /**
-     * The live per-shard deadline: fixed when configured, derived
-     * from the slowest completed shard in auto mode (no estimate
-     * until the first completion), -1 when detection is off.
+     * The live deadline for a shard of @p spec: fixed when
+     * configured, derived from the slowest completed shard of the
+     * SAME design point in auto mode (no estimate until that spec's
+     * first completion), -1 when detection is off. Per-spec because
+     * shard cost is a property of the design point — at kilonode
+     * geometries a broadcast protocol runs 100x longer than a
+     * directory one in the same sweep, and a global estimate seeded
+     * by the cheap spec would kill every healthy shard of the
+     * expensive one. Seeds of one spec are near-identical in cost,
+     * so 10x its own slowest shard stays a safe hang bound.
      */
-    const auto currentDeadlineMs = [&]() -> long {
+    const auto currentDeadlineMs = [&](std::size_t spec) -> long {
         if (opts_.shardTimeoutMs > 0)
             return opts_.shardTimeoutMs;
-        if (opts_.shardTimeoutMs < 0 || maxObservedMs < 0)
+        if (opts_.shardTimeoutMs < 0 || maxObservedMs[spec] < 0)
             return -1;
-        return std::max<long>(10000, 10 * maxObservedMs);
+        return std::max<long>(10000, 10 * maxObservedMs[spec]);
+    };
+
+    /** currentDeadlineMs for the shard @p w is running, -1 if idle. */
+    const auto workerDeadlineMs = [&](const WorkerProc &w) -> long {
+        if (w.shard < 0)
+            return -1;
+        return currentDeadlineMs(
+            shards[static_cast<std::size_t>(w.shard)].spec);
     };
 
     /** Decode every complete frame buffered for @p w. Throws
@@ -671,8 +686,8 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
                 raw[s.spec][static_cast<std::size_t>(s.seed)] =
                     rf.results;
                 w.shard = -1;
-                maxObservedMs = std::max<long>(
-                    maxObservedMs,
+                maxObservedMs[s.spec] = std::max<long>(
+                    maxObservedMs[s.spec],
                     static_cast<long>(monoMs() - w.assignMs));
                 ckptAppend(sh, rf.results);
                 resolveShard(sh, "done");
@@ -918,14 +933,14 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
             // shard, a pending peer's hello window, or the empty
             // pool's join window.
             int timeoutMs = -1;
-            const long deadline = currentDeadlineMs();
             {
                 const long long now = monoMs();
                 long long nearest = LLONG_MAX;
                 for (const WorkerProc *w : who) {
                     if (!w)
                         continue;
-                    if (deadline > 0 && w->shard >= 0) {
+                    const long deadline = workerDeadlineMs(*w);
+                    if (deadline > 0) {
                         nearest = std::min(
                             nearest, w->assignMs + deadline - now);
                     }
@@ -998,11 +1013,14 @@ DistRunner::run(const std::vector<ExperimentSpec> &specs) const
             // silent past the deadline. SIGKILL (pipe) or a socket
             // close (TCP) converts "hung" into the crash path —
             // reassign + respawn within budget.
-            if (deadline > 0) {
+            {
                 const long long now = monoMs();
                 for (auto &wp : pool) {
                     WorkerProc &w = *wp;
-                    if (!w.alive || w.shard < 0 ||
+                    if (!w.alive || w.shard < 0)
+                        continue;
+                    const long deadline = workerDeadlineMs(w);
+                    if (deadline <= 0 ||
                         now - w.assignMs < deadline)
                         continue;
                     const Shard &s =

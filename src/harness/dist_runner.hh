@@ -154,9 +154,11 @@ struct DistRunnerOptions
      * one shard past this is presumed hung, SIGKILLed, and its shard
      * reassigned exactly like a crash. 0 (default) derives the
      * deadline from observed shard times — 10x the slowest completed
-     * shard, floored at 10 s, unbounded until the first completion —
-     * so it needs no tuning yet still unsticks a sweep whose tail
-     * worker wedges. < 0 disables detection entirely.
+     * shard of the same design point, floored at 10 s, unbounded
+     * until that design point's first completion (per-spec, because
+     * shard cost varies ~100x across specs in one sweep at kilonode
+     * geometries) — so it needs no tuning yet still unsticks a sweep
+     * whose tail worker wedges. < 0 disables detection entirely.
      */
     long shardTimeoutMs = 0;
 

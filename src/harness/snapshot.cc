@@ -76,6 +76,14 @@ snapshotShapeFingerprint(const SystemConfig &cfg)
     w.varint(cfg.blockBytes);
     w.boolean(cfg.attachAuditor);
     encodeWorkloadSpec(w, cfg.workload);
+    // The tenant list defines the op streams just as the single-tenant
+    // spec does: a snapshot saved under one tenant layout must not
+    // restore under another.
+    w.varint(cfg.tenants.size());
+    for (const TenantSpec &t : cfg.tenants) {
+        encodeWorkloadSpec(w, t.workload);
+        w.varint(static_cast<std::uint64_t>(t.nodes));
+    }
     w.varint(cfg.seed);
     return fnv1a(w.buffer());
 }

@@ -246,15 +246,107 @@ System::buildControllers(NodeId id, std::uint64_t seed)
     }
 }
 
+namespace {
+
+/**
+ * Decorates a tenant's group-local workload with the tenant's address
+ * offset (see kTenantAddrShift): the inner generator runs in its own
+ * group-sized address space, and every emitted address is lifted into
+ * the tenant's disjoint slice of the machine's space.
+ */
+class TenantOffsetWorkload : public Workload
+{
+  public:
+    TenantOffsetWorkload(std::unique_ptr<Workload> inner, Addr offset)
+        : inner_(std::move(inner)), offset_(offset)
+    {}
+
+    WorkloadOp
+    next() override
+    {
+        WorkloadOp op = inner_->next();
+        op.addr += offset_;
+        return op;
+    }
+
+    void
+    skip(std::uint64_t n) override
+    {
+        // The offset is stateless; the inner generator skips natively.
+        inner_->skip(n);
+    }
+
+    std::string name() const override { return inner_->name(); }
+
+  private:
+    std::unique_ptr<Workload> inner_;
+    Addr offset_;
+};
+
+/** Joined display name of a tenant list ("ycsb+tpcc"). */
+std::string
+tenantListName(const std::vector<TenantSpec> &tenants)
+{
+    std::string out;
+    for (const TenantSpec &t : tenants) {
+        if (!out.empty())
+            out += '+';
+        out += t.workload.name();
+    }
+    return out;
+}
+
+} // namespace
+
 void
 System::configureWorkloads()
 {
-    // The custom std::function factory bypasses spec validation (its
-    // spec may be the unused default).
-    wlFactory_ = cfg_.workloadFactory
-        ? nullptr
-        : std::make_unique<WorkloadFactory>(cfg_.workload,
-                                            cfg_.numNodes, addrMap_);
+    tenantFactories_.clear();
+    tenantStarts_.clear();
+    if (!cfg_.tenants.empty()) {
+        if (cfg_.workloadFactory) {
+            throw std::invalid_argument(
+                "tenants and workloadFactory are mutually exclusive");
+        }
+        int start = 0;
+        for (std::size_t i = 0; i < cfg_.tenants.size(); ++i) {
+            const TenantSpec &t = cfg_.tenants[i];
+            if (t.workload.isTrace()) {
+                throw std::invalid_argument(
+                    "tenant " + std::to_string(i) +
+                    ": trace specs cannot be tenant workloads");
+            }
+            if (t.nodes < 1) {
+                throw std::invalid_argument(
+                    "tenant " + std::to_string(i) + " has " +
+                    std::to_string(t.nodes) +
+                    " nodes; every tenant needs at least one");
+            }
+            tenantStarts_.push_back(start);
+            // Each tenant's factory sees its group size: the tenant's
+            // sharing pattern (producer mapping, warehouse count,
+            // shared-region bases) spans its own nodes.
+            tenantFactories_.push_back(std::make_unique<WorkloadFactory>(
+                t.workload, t.nodes, addrMap_));
+            start += t.nodes;
+        }
+        if (start != cfg_.numNodes) {
+            throw std::invalid_argument(
+                "tenant node counts sum to " + std::to_string(start) +
+                " but the system has " + std::to_string(cfg_.numNodes) +
+                " nodes");
+        }
+        tenantStarts_.push_back(start);
+        wlFactory_.reset();
+    } else {
+        // The custom std::function factory bypasses spec validation
+        // (its spec may be the unused default).
+        wlFactory_ = cfg_.workloadFactory
+            ? nullptr
+            : std::make_unique<WorkloadFactory>(cfg_.workload,
+                                                cfg_.numNodes,
+                                                addrMap_);
+    }
     if (cfg_.recordTrace.empty()) {
         traceWriter_.reset();
         return;
@@ -264,17 +356,34 @@ System::configureWorkloads()
     hdr.blockBytes = cfg_.blockBytes;
     hdr.seed = cfg_.seed;
     hdr.warmupOpsPerProcessor = cfg_.warmupOpsPerProcessor;
-    hdr.provenance = cfg_.workloadFactory ? "custom-factory"
-                                          : cfg_.workload.name();
+    hdr.provenance = !cfg_.tenants.empty()
+        ? tenantListName(cfg_.tenants)
+        : (cfg_.workloadFactory ? "custom-factory"
+                                : cfg_.workload.name());
     traceWriter_ = std::make_unique<TraceWriter>(std::move(hdr));
 }
 
 std::unique_ptr<Workload>
 System::makeWorkload(NodeId node, std::uint64_t seed)
 {
-    std::unique_ptr<Workload> wl = cfg_.workloadFactory
-        ? cfg_.workloadFactory(node, cfg_.numNodes, seed)
-        : wlFactory_->make(node, seed);
+    std::unique_ptr<Workload> wl;
+    if (!tenantFactories_.empty()) {
+        // Find the node's tenant group (starts are sorted; the list
+        // is short).
+        std::size_t t = 0;
+        while (static_cast<int>(node) >= tenantStarts_[t + 1])
+            ++t;
+        const NodeId local =
+            static_cast<NodeId>(static_cast<int>(node) -
+                                tenantStarts_[t]);
+        wl = std::make_unique<TenantOffsetWorkload>(
+            tenantFactories_[t]->make(local, seed),
+            Addr{t} << kTenantAddrShift);
+    } else if (cfg_.workloadFactory) {
+        wl = cfg_.workloadFactory(node, cfg_.numNodes, seed);
+    } else {
+        wl = wlFactory_->make(node, seed);
+    }
     if (traceWriter_) {
         wl = std::make_unique<RecordingWorkload>(
             std::move(wl), traceWriter_.get(), node);
@@ -610,6 +719,23 @@ System::collectResults() const
                  eq_.dispatched() - measureStartDispatched_);
     m.addCounter("timers_cancelled", metricDiagnostic,
                  eq_.cancelled() - measureStartCancelled_);
+
+    // Per-tenant breakdowns (multi-tenant mode only): diagnostic so
+    // tenant sweeps can read interference without perturbing the
+    // digest-pinned aggregate catalog above. Appended last — the
+    // catalog stays a fixed-order prefix.
+    for (std::size_t t = 0; t + 1 < tenantStarts_.size(); ++t) {
+        std::uint64_t t_ops = 0;
+        RunningStat t_lat;
+        for (int i = tenantStarts_[t]; i < tenantStarts_[t + 1]; ++i) {
+            t_ops += sequencers_[i]->stats().opsCompleted;
+            t_lat.combine(caches_[i]->stats().missLatency);
+        }
+        const std::string prefix = "tenant" + std::to_string(t) + "_";
+        m.addCounter(prefix + "ops", metricDiagnostic, t_ops);
+        m.addStat(prefix + "miss_latency_ticks", metricDiagnostic,
+                  t_lat);
+    }
     return r;
 }
 

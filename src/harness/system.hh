@@ -53,6 +53,46 @@ struct SamplingSpec
     bool enabled() const { return windows > 0 && measureOps > 0; }
 };
 
+/**
+ * One tenant of a multi-tenant system: a workload co-scheduled on a
+ * contiguous group of nodes of the shared machine. Tenants model
+ * independent applications consolidated on one interconnect — each
+ * group runs its own generator family over its own (offset-disjoint)
+ * address space, while every memory access still contends for the
+ * shared network, directories, and memory controllers, so per-tenant
+ * metrics expose cross-tenant interference.
+ */
+struct TenantSpec
+{
+    /** The group's operation source (trace specs are rejected —
+     *  recorded traces bake in a whole machine's node count). */
+    WorkloadSpec workload;
+
+    /** Nodes in this group; groups are assigned contiguously in
+     *  declaration order and must sum to SystemConfig::numNodes. */
+    int nodes = 0;
+
+    friend bool
+    operator==(const TenantSpec &a, const TenantSpec &b)
+    {
+        return a.workload == b.workload && a.nodes == b.nodes;
+    }
+    friend bool
+    operator!=(const TenantSpec &a, const TenantSpec &b)
+    {
+        return !(a == b);
+    }
+};
+
+/**
+ * Tenant i's addresses are offset by i << kTenantAddrShift, far above
+ * any address a single group's generators emit (private regions top
+ * out near 2^34 at 1024 nodes; table regions are smaller), so tenant
+ * address spaces are disjoint while the block-interleaved home mapping
+ * still spreads every tenant's homes across the whole machine.
+ */
+constexpr int kTenantAddrShift = 44;
+
 /** Everything needed to build one simulated system (Table 1 defaults). */
 struct SystemConfig
 {
@@ -81,7 +121,8 @@ struct SystemConfig
     /**
      * The operation source: a synthetic preset name ("oltp",
      * "apache", "specjbb", "producer-consumer", "lock-ping",
-     * "uniform", "hot", "private") with its per-preset knobs, or a
+     * "uniform", "hot", "private", "ycsb", "tpcc") with its
+     * per-preset knobs, or a
      * recorded trace to replay (WorkloadSpec::trace(path)). A plain
      * string assigns the preset. Ignored when workloadFactory is set.
      */
@@ -91,6 +132,20 @@ struct SystemConfig
     std::function<std::unique_ptr<Workload>(NodeId, int,
                                             std::uint64_t seed)>
         workloadFactory;
+
+    /**
+     * Multi-tenant mode: when non-empty, these workloads are
+     * co-scheduled on contiguous disjoint node groups (in declaration
+     * order; node counts must sum to numNodes) and `workload` is
+     * ignored. Each group's generators see their group-local node ids
+     * and group size — a tenant's sharing pattern spans its own nodes
+     * — and its addresses are offset per kTenantAddrShift. A runtime
+     * knob like `workload`: System::reset switches tenant lists
+     * freely, and results() gains per-tenant diagnostic metrics
+     * (tenant<i>_ops, tenant<i>_miss_latency_ticks). Incompatible
+     * with workloadFactory; trace specs are rejected inside tenants.
+     */
+    std::vector<TenantSpec> tenants;
 
     /**
      * When non-empty, record every operation the sequencers pull
@@ -461,6 +516,11 @@ class System
     std::unique_ptr<TokenAuditor> auditor_;
     AddressMap addrMap_;
     std::unique_ptr<WorkloadFactory> wlFactory_;
+    /** Per-tenant factories (multi-tenant mode; else empty). */
+    std::vector<std::unique_ptr<WorkloadFactory>> tenantFactories_;
+    /** Tenant group start nodes (tenantStarts_[i] = first node of
+     *  tenant i; one extra trailing entry = numNodes). */
+    std::vector<int> tenantStarts_;
     std::unique_ptr<TraceWriter> traceWriter_;
     std::vector<std::unique_ptr<CacheController>> caches_;
     std::vector<std::unique_ptr<MemoryController>> memories_;

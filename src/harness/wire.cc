@@ -11,6 +11,19 @@ namespace tokensim {
 // Struct encodings
 // ---------------------------------------------------------------------
 
+// Layout-skew sentinel: adding a field to WorkloadSpec changes its
+// size, which fails this assert until the new field is added to
+// encodeWorkloadSpec/decodeWorkloadSpec, operator==, and wireVersion
+// is bumped. Guarded to the one ABI the sentinel value was computed
+// for — other ABIs still have the operator== doc contract and the
+// exhaustive wire round-trip tests.
+#if defined(__x86_64__) && defined(__GLIBCXX__)
+static_assert(sizeof(WorkloadSpec) == 168,
+              "WorkloadSpec layout changed: update encodeWorkloadSpec/"
+              "decodeWorkloadSpec, WorkloadSpec::operator==, bump "
+              "wireVersion, then refresh this sentinel");
+#endif
+
 void
 encodeWorkloadSpec(WireWriter &w, const WorkloadSpec &spec)
 {
@@ -21,6 +34,15 @@ encodeWorkloadSpec(WireWriter &w, const WorkloadSpec &spec)
     w.varint(spec.prodConsBlocks);
     w.varint(spec.lockBlocks);
     w.svarint(spec.sectionOps);
+    w.varint(spec.ycsbRecords);
+    w.f64(spec.ycsbTheta);
+    w.f64(spec.ycsbReadFraction);
+    w.f64(spec.ycsbUpdateFraction);
+    w.svarint(spec.ycsbScanLen);
+    w.varint(spec.tpccWarehouses);
+    w.f64(spec.tpccHomeFraction);
+    w.svarint(spec.tpccOpsPerTxn);
+    w.svarint(spec.tpccThinkOps);
     putStructEnd(w);
 }
 
@@ -35,6 +57,18 @@ decodeWorkloadSpec(WireReader &r)
     spec.prodConsBlocks = r.varint("workload prodConsBlocks");
     spec.lockBlocks = r.varint("workload lockBlocks");
     spec.sectionOps = static_cast<int>(r.svarint("workload sectionOps"));
+    spec.ycsbRecords = r.varint("workload ycsbRecords");
+    spec.ycsbTheta = r.f64("workload ycsbTheta");
+    spec.ycsbReadFraction = r.f64("workload ycsbReadFraction");
+    spec.ycsbUpdateFraction = r.f64("workload ycsbUpdateFraction");
+    spec.ycsbScanLen =
+        static_cast<int>(r.svarint("workload ycsbScanLen"));
+    spec.tpccWarehouses = r.varint("workload tpccWarehouses");
+    spec.tpccHomeFraction = r.f64("workload tpccHomeFraction");
+    spec.tpccOpsPerTxn =
+        static_cast<int>(r.svarint("workload tpccOpsPerTxn"));
+    spec.tpccThinkOps =
+        static_cast<int>(r.svarint("workload tpccThinkOps"));
     checkStructEnd(r, "workload spec");
     return spec;
 }
@@ -126,6 +160,12 @@ encodeSystemConfig(WireWriter &w, const SystemConfig &cfg)
     // A snapshot rides along as an opaque blob; shards validate its
     // shape fingerprint themselves when they load it.
     w.str(cfg.warmSnapshot ? *cfg.warmSnapshot : std::string());
+
+    w.varint(cfg.tenants.size());
+    for (const TenantSpec &t : cfg.tenants) {
+        encodeWorkloadSpec(w, t.workload);
+        w.svarint(t.nodes);
+    }
     putStructEnd(w);
 }
 
@@ -194,6 +234,20 @@ decodeSystemConfig(WireReader &r)
     if (!snap.empty()) {
         cfg.warmSnapshot =
             std::make_shared<const std::string>(std::move(snap));
+    }
+
+    const std::uint64_t num_tenants = r.varint("tenant count");
+    if (num_tenants > maxWireTenants) {
+        throw WireError("tenant count " + std::to_string(num_tenants) +
+                        " exceeds limit " +
+                        std::to_string(maxWireTenants));
+    }
+    cfg.tenants.reserve(num_tenants);
+    for (std::uint64_t i = 0; i < num_tenants; ++i) {
+        TenantSpec t;
+        t.workload = decodeWorkloadSpec(r);
+        t.nodes = static_cast<int>(r.svarint("tenant nodes"));
+        cfg.tenants.push_back(std::move(t));
     }
     checkStructEnd(r, "system config");
     return cfg;

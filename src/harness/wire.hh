@@ -80,13 +80,19 @@ namespace tokensim {
 //     cross-host TCP transport needs to name who just connected).
 // v4: SystemConfig gained the SMARTS sampling spec (ffOps,
 //     measureOps, windows) and the warm-state snapshot payload.
-constexpr std::uint32_t wireVersion = 4;
+// v5: WorkloadSpec gained the "ycsb"/"tpcc" transactional-preset
+//     knobs; SystemConfig gained the multi-tenant group list
+//     (per-tenant WorkloadSpec + node count).
+constexpr std::uint32_t wireVersion = 5;
 
 /** Stream magic carried by the hello frame. */
 constexpr char wireMagic[8] = {'T', 'O', 'K', 'S', 'W', 'E', 'E', 'P'};
 
 /** Hard cap on one frame's payload (a corrupt length must not OOM). */
 constexpr std::uint64_t maxFramePayload = 1ull << 30;
+
+/** Hard cap on a decoded tenant list (corrupt counts must not OOM). */
+constexpr std::uint64_t maxWireTenants = 1 << 16;
 
 // ---------------------------------------------------------------------
 // Struct encodings. Each encode/decode pair must consume exactly what

@@ -3,8 +3,51 @@
 #include <stdexcept>
 
 #include "workload/commercial.hh"
+#include "workload/tpcc.hh"
+#include "workload/ycsb.hh"
 
 namespace tokensim {
+
+namespace {
+
+void
+requireFraction(const char *knob, double v)
+{
+    if (!(v >= 0.0 && v <= 1.0)) {
+        throw std::invalid_argument(
+            std::string(knob) + " must be in [0, 1], got " +
+            std::to_string(v));
+    }
+}
+
+void
+validateYcsb(const WorkloadSpec &s)
+{
+    if (s.ycsbRecords < 1)
+        throw std::invalid_argument("ycsbRecords must be >= 1");
+    if (s.ycsbScanLen < 1)
+        throw std::invalid_argument("ycsbScanLen must be >= 1");
+    if (!(s.ycsbTheta >= 0.0))
+        throw std::invalid_argument("ycsbTheta must be >= 0");
+    requireFraction("ycsbReadFraction", s.ycsbReadFraction);
+    requireFraction("ycsbUpdateFraction", s.ycsbUpdateFraction);
+    if (s.ycsbReadFraction + s.ycsbUpdateFraction > 1.0) {
+        throw std::invalid_argument(
+            "ycsbReadFraction + ycsbUpdateFraction must be <= 1");
+    }
+}
+
+void
+validateTpcc(const WorkloadSpec &s)
+{
+    requireFraction("tpccHomeFraction", s.tpccHomeFraction);
+    if (s.tpccOpsPerTxn < 1)
+        throw std::invalid_argument("tpccOpsPerTxn must be >= 1");
+    if (s.tpccThinkOps < 0)
+        throw std::invalid_argument("tpccThinkOps must be >= 0");
+}
+
+} // namespace
 
 WorkloadFactory::WorkloadFactory(const WorkloadSpec &spec,
                                  int num_nodes, const AddressMap &map)
@@ -21,11 +64,15 @@ WorkloadFactory::WorkloadFactory(const WorkloadSpec &spec,
         }
         return;
     }
-    // Validate the preset name up front (the commercial presets
-    // validate inside CommercialParams::preset).
+    // Validate the preset name and its knobs up front (the commercial
+    // presets validate inside CommercialParams::preset).
     const std::string &p = spec_.preset;
-    if (p != "uniform" && p != "hot" && p != "private" &&
-        p != "producer-consumer" && p != "lock-ping") {
+    if (p == "ycsb") {
+        validateYcsb(spec_);
+    } else if (p == "tpcc") {
+        validateTpcc(spec_);
+    } else if (p != "uniform" && p != "hot" && p != "private" &&
+               p != "producer-consumer" && p != "lock-ping") {
         CommercialParams::preset(p);   // throws on unknown names
     }
 }
@@ -58,6 +105,25 @@ WorkloadFactory::make(NodeId node, std::uint64_t seed) const
         return std::make_unique<LockPingWorkload>(
             node, numNodes_, map_, spec_.lockBlocks,
             spec_.sectionOps, seed);
+    }
+    if (p == "ycsb") {
+        YcsbParams yp;
+        yp.records = spec_.ycsbRecords;
+        yp.theta = spec_.ycsbTheta;
+        yp.readFraction = spec_.ycsbReadFraction;
+        yp.updateFraction = spec_.ycsbUpdateFraction;
+        yp.scanLen = spec_.ycsbScanLen;
+        return std::make_unique<YcsbWorkload>(node, numNodes_, map_,
+                                              yp, seed);
+    }
+    if (p == "tpcc") {
+        TpccParams tp;
+        tp.warehouses = spec_.tpccWarehouses;
+        tp.homeFraction = spec_.tpccHomeFraction;
+        tp.opsPerTxn = spec_.tpccOpsPerTxn;
+        tp.thinkOps = spec_.tpccThinkOps;
+        return std::make_unique<TpccWorkload>(node, numNodes_, map_,
+                                              tp, seed);
     }
     return std::make_unique<CommercialWorkload>(
         node, numNodes_, map_, CommercialParams::preset(p), seed);

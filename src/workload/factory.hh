@@ -5,7 +5,8 @@
  *
  * A spec is either a synthetic preset name ("oltp", "apache",
  * "specjbb", "producer-consumer", "lock-ping", "uniform", "hot",
- * "private") plus its per-preset knobs, or a recorded trace path
+ * "private", "ycsb", "tpcc") plus its per-preset knobs, or a
+ * recorded trace path
  * (workload/trace.hh) replayed as a drop-in op source. The spec is a
  * runtime knob of SystemConfig: System::reset switches preset↔trace
  * freely, and ParallelRunner sweeps can mix both in one matrix.
@@ -46,6 +47,19 @@ struct WorkloadSpec
     std::uint64_t lockBlocks = 8;        ///< "lock-ping" lock count
     int sectionOps = 6;                  ///< "lock-ping" section length
 
+    // "ycsb" knobs (workload/ycsb.hh).
+    std::uint64_t ycsbRecords = 1 << 16; ///< table size in records
+    double ycsbTheta = 0.8;              ///< Zipf skew of popularity
+    double ycsbReadFraction = 0.70;      ///< point reads
+    double ycsbUpdateFraction = 0.25;    ///< RMW updates (rest: scans)
+    int ycsbScanLen = 8;                 ///< records per scan
+
+    // "tpcc" knobs (workload/tpcc.hh).
+    std::uint64_t tpccWarehouses = 0;    ///< 0 = one per node
+    double tpccHomeFraction = 0.85;      ///< P(txn hits home warehouse)
+    int tpccOpsPerTxn = 24;              ///< record accesses per txn
+    int tpccThinkOps = 12;               ///< private ops between txns
+
     WorkloadSpec() = default;
     WorkloadSpec(std::string preset_name)          // NOLINT(implicit)
         : preset(std::move(preset_name))
@@ -77,7 +91,9 @@ struct WorkloadSpec
      * through this operator — a field added here must be added to
      * encodeWorkloadSpec/decodeWorkloadSpec (and wireVersion bumped)
      * or the wire tests' exhaustive-field round trip will catch the
-     * omission.
+     * omission. A sizeof sentinel next to encodeWorkloadSpec
+     * (harness/wire.cc) additionally fails the build on layout growth
+     * so the knob can't be added *here* and forgotten *there*.
      */
     friend bool
     operator==(const WorkloadSpec &a, const WorkloadSpec &b)
@@ -87,7 +103,16 @@ struct WorkloadSpec
             a.storeFraction == b.storeFraction &&
             a.prodConsBlocks == b.prodConsBlocks &&
             a.lockBlocks == b.lockBlocks &&
-            a.sectionOps == b.sectionOps;
+            a.sectionOps == b.sectionOps &&
+            a.ycsbRecords == b.ycsbRecords &&
+            a.ycsbTheta == b.ycsbTheta &&
+            a.ycsbReadFraction == b.ycsbReadFraction &&
+            a.ycsbUpdateFraction == b.ycsbUpdateFraction &&
+            a.ycsbScanLen == b.ycsbScanLen &&
+            a.tpccWarehouses == b.tpccWarehouses &&
+            a.tpccHomeFraction == b.tpccHomeFraction &&
+            a.tpccOpsPerTxn == b.tpccOpsPerTxn &&
+            a.tpccThinkOps == b.tpccThinkOps;
     }
 
     friend bool

@@ -1,0 +1,87 @@
+#include "workload/tpcc.hh"
+
+namespace tokensim {
+
+namespace {
+
+/// Zipf skew of record popularity inside a warehouse slab (district /
+/// customer rows are far hotter than order lines).
+constexpr double kRecordTheta = 0.6;
+
+/// Store fraction of in-slab record accesses (inserts + updates of a
+/// NewOrder/Payment mix).
+constexpr double kRecordStoreFraction = 0.3;
+
+/// Private working set touched by think-time ops, in blocks.
+constexpr std::uint64_t kThinkBlocks = 1024;
+
+/// Store fraction of think-time ops (stack / client bookkeeping).
+constexpr double kThinkStoreFraction = 0.25;
+
+} // namespace
+
+TpccWorkload::TpccWorkload(NodeId node, int num_nodes,
+                           const AddressMap &map,
+                           const TpccParams &params, std::uint64_t seed)
+    : tableBase_(map.tableBase(num_nodes)),
+      privateBase_(map.privateBase(node)),
+      blockBytes_(map.blockBytes),
+      params_(params),
+      warehouses_(params.warehouses
+                      ? params.warehouses
+                      : static_cast<std::uint64_t>(num_nodes)),
+      homeWarehouse_(static_cast<std::uint64_t>(node) % warehouses_),
+      recordZipf_(static_cast<std::size_t>(kSlabBlocks - 1),
+                  kRecordTheta),
+      rng_(seed)
+{}
+
+Addr
+TpccWorkload::slabAddr(std::uint64_t warehouse,
+                       std::uint64_t block) const
+{
+    return tableBase_ + (warehouse * kSlabBlocks + block) * blockBytes_;
+}
+
+void
+TpccWorkload::buildTransaction()
+{
+    const std::uint64_t w = rng_.chance(params_.homeFraction)
+        ? homeWarehouse_
+        : rng_.below(warehouses_);
+
+    // 1. Warehouse header RMW: every transaction bumps the slab's
+    //    block-0 counter, making it migratory among its clients.
+    pending_.push_back(WorkloadOp{MemOp::load, slabAddr(w, 0), false});
+    pending_.push_back(WorkloadOp{MemOp::store, slabAddr(w, 0), false});
+
+    // 2. Record accesses inside the warehouse slab.
+    for (int i = 0; i < params_.opsPerTxn; ++i) {
+        const std::uint64_t block = 1 + recordZipf_.sample(rng_);
+        const MemOp op = rng_.chance(kRecordStoreFraction)
+            ? MemOp::store : MemOp::load;
+        pending_.push_back(WorkloadOp{op, slabAddr(w, block),
+                                      i == params_.opsPerTxn - 1});
+    }
+
+    // 3. Think time: private accesses between transactions.
+    for (int i = 0; i < params_.thinkOps; ++i) {
+        const Addr a = privateBase_ +
+            rng_.below(kThinkBlocks) * blockBytes_;
+        const MemOp op = rng_.chance(kThinkStoreFraction)
+            ? MemOp::store : MemOp::load;
+        pending_.push_back(WorkloadOp{op, a, false});
+    }
+}
+
+WorkloadOp
+TpccWorkload::next()
+{
+    if (pending_.empty())
+        buildTransaction();
+    WorkloadOp op = pending_.front();
+    pending_.pop_front();
+    return op;
+}
+
+} // namespace tokensim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TPC-C-like transactional workload generator.
+ *
+ * Models the memory-system shape of an order-entry OLTP workload the
+ * way ScaleStore's tpcc frontend drives one: multi-record
+ * transactions against per-warehouse data slabs with strong home
+ * locality. Each node is affiliated with a home warehouse
+ * (node mod warehouses); a transaction picks the home warehouse with
+ * probability homeFraction and a uniformly random remote one
+ * otherwise — the classic ~15% remote-warehouse rate of TPC-C's
+ * NewOrder/Payment mix at the default 0.85.
+ *
+ * A transaction is:
+ *  1. the warehouse header RMW (load + store of slab block 0 —
+ *     the D_NEXT_O_ID-style counter every transaction bumps, so the
+ *     header block is migratory among the warehouse's clients),
+ *  2. opsPerTxn record accesses Zipf-skewed inside the warehouse's
+ *     slab (~30% stores), the last of which ends the transaction,
+ *  3. thinkOps private-region accesses modeling client think time /
+ *     per-transaction bookkeeping between transactions.
+ *
+ * Warehouse slabs live in the shared table region
+ * (AddressMap::tableBase), kSlabBlocks blocks apart, so the
+ * block-interleaved home mapping spreads each slab's directory homes
+ * across the machine even though its *accessors* are mostly local.
+ */
+
+#ifndef TOKENSIM_WORKLOAD_TPCC_HH
+#define TOKENSIM_WORKLOAD_TPCC_HH
+
+#include <deque>
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace tokensim {
+
+/** Knobs for TpccWorkload; validated by the workload factory. */
+struct TpccParams
+{
+    std::uint64_t warehouses = 0;  ///< 0 = one per node
+    double homeFraction = 0.85;    ///< P(txn hits home warehouse)
+    int opsPerTxn = 24;            ///< record accesses per transaction
+    int thinkOps = 12;             ///< private ops between transactions
+};
+
+class TpccWorkload : public Workload
+{
+  public:
+    /** Blocks per warehouse slab (header block + records). */
+    static constexpr std::uint64_t kSlabBlocks = 4096;
+
+    TpccWorkload(NodeId node, int num_nodes, const AddressMap &map,
+                 const TpccParams &params, std::uint64_t seed);
+
+    WorkloadOp next() override;
+
+    std::string name() const override { return "tpcc"; }
+
+    std::uint64_t homeWarehouse() const { return homeWarehouse_; }
+
+  private:
+    void buildTransaction();
+
+    Addr slabAddr(std::uint64_t warehouse, std::uint64_t block) const;
+
+    Addr tableBase_;
+    Addr privateBase_;
+    std::uint32_t blockBytes_;
+    TpccParams params_;
+    std::uint64_t warehouses_;
+    std::uint64_t homeWarehouse_;
+    ZipfSampler recordZipf_;
+    Rng rng_;
+    std::deque<WorkloadOp> pending_;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_WORKLOAD_TPCC_HH

@@ -152,6 +152,18 @@ struct AddressMap
     {
         return migratoryBase(num_nodes) + migratoryBlocks * blockBytes;
     }
+
+    /**
+     * Base of the transactional table region (YCSB records, TPC-C
+     * warehouse slabs). Last region in the address space, so its size
+     * is open-ended: the transactional presets size it from their own
+     * knobs (record count, warehouses x slab blocks).
+     */
+    Addr
+    tableBase(int num_nodes) const
+    {
+        return prodConsBase(num_nodes) + prodConsBlocks * blockBytes;
+    }
 };
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,71 @@
+#include "workload/ycsb.hh"
+
+namespace tokensim {
+
+YcsbWorkload::YcsbWorkload(NodeId node, int num_nodes,
+                           const AddressMap &map,
+                           const YcsbParams &params, std::uint64_t seed)
+    : tableBase_(map.tableBase(num_nodes)),
+      blockBytes_(map.blockBytes),
+      params_(params),
+      zipf_(static_cast<std::size_t>(params.records), params.theta),
+      rng_(seed)
+{
+    (void)node;  // all nodes of a group share one table
+}
+
+std::uint64_t
+YcsbWorkload::scramble(std::uint64_t rank, std::uint64_t records)
+{
+    // SplitMix64 finalizer: a bijective 64-bit mix, folded into the
+    // table. Distinct ranks can collide after the fold (as in YCSB's
+    // own FNV-based scrambling) — harmless, popularity just stacks.
+    std::uint64_t z = rank + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return z % records;
+}
+
+Addr
+YcsbWorkload::recordAddr(std::uint64_t key) const
+{
+    return tableBase_ + key * blockBytes_;
+}
+
+WorkloadOp
+YcsbWorkload::next()
+{
+    if (!pending_.empty()) {
+        WorkloadOp op = pending_.front();
+        pending_.pop_front();
+        return op;
+    }
+
+    const std::uint64_t rank = zipf_.sample(rng_);
+    const std::uint64_t key = scramble(rank, params_.records);
+    const double r = rng_.uniform();
+
+    if (r < params_.readFraction)
+        return WorkloadOp{MemOp::load, recordAddr(key), true};
+
+    if (r < params_.readFraction + params_.updateFraction) {
+        // Read-modify-write to one record.
+        pending_.push_back(WorkloadOp{MemOp::store, recordAddr(key),
+                                      true});
+        return WorkloadOp{MemOp::load, recordAddr(key), false};
+    }
+
+    // Scan: scanLen sequential records from the chosen key, wrapping
+    // at the end of the table.
+    for (int i = 1; i < params_.scanLen; ++i) {
+        const std::uint64_t k = (key + static_cast<std::uint64_t>(i)) %
+            params_.records;
+        pending_.push_back(WorkloadOp{MemOp::load, recordAddr(k),
+                                      i == params_.scanLen - 1});
+    }
+    return WorkloadOp{MemOp::load, recordAddr(key),
+                      params_.scanLen == 1};
+}
+
+} // namespace tokensim

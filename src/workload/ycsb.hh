@@ -1,0 +1,76 @@
+/**
+ * @file
+ * YCSB-style key-value workload generator.
+ *
+ * Models the Yahoo! Cloud Serving Benchmark request mixes that
+ * distributed key-value stores (and ScaleStore-style disaggregated
+ * engines) are evaluated with: point reads, read-modify-write
+ * updates, and short range scans over a table of fixed-size records,
+ * with popularity following a *scrambled* Zipf distribution — the
+ * Zipf rank order is hashed so the hot keys scatter uniformly across
+ * the table instead of clustering at its start. Every node of a
+ * tenant group draws from the same table (the shared region at
+ * AddressMap::tableBase), so popular records are genuinely contended
+ * across processors while the block-interleaved home mapping spreads
+ * their directories over the whole machine.
+ *
+ * One record maps to one cache block. Operations:
+ *  - read:   one load, ends the transaction;
+ *  - update: load + store RMW pair to one record (migratory-style
+ *            sharing on hot records), store ends the transaction;
+ *  - scan:   scanLen sequential records (wrapping mod table size),
+ *            all loads, last one ends the transaction.
+ */
+
+#ifndef TOKENSIM_WORKLOAD_YCSB_HH
+#define TOKENSIM_WORKLOAD_YCSB_HH
+
+#include <deque>
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace tokensim {
+
+/** Knobs for YcsbWorkload; validated by the workload factory. */
+struct YcsbParams
+{
+    std::uint64_t records = 1 << 16;  ///< table size in records/blocks
+    double theta = 0.8;               ///< Zipf skew of key popularity
+    double readFraction = 0.70;       ///< point reads
+    double updateFraction = 0.25;     ///< RMW updates (rest: scans)
+    int scanLen = 8;                  ///< records per scan
+};
+
+class YcsbWorkload : public Workload
+{
+  public:
+    YcsbWorkload(NodeId node, int num_nodes, const AddressMap &map,
+                 const YcsbParams &params, std::uint64_t seed);
+
+    WorkloadOp next() override;
+
+    std::string name() const override { return "ycsb"; }
+
+    /**
+     * The scrambled key for Zipf rank @p rank: a 64-bit finalizer mix
+     * folded into the table, so rank order (and thus popularity mass)
+     * is decorrelated from table position. Exposed for tests.
+     */
+    static std::uint64_t scramble(std::uint64_t rank,
+                                  std::uint64_t records);
+
+  private:
+    Addr recordAddr(std::uint64_t key) const;
+
+    Addr tableBase_;
+    std::uint32_t blockBytes_;
+    YcsbParams params_;
+    ZipfSampler zipf_;
+    Rng rng_;
+    std::deque<WorkloadOp> pending_;
+};
+
+} // namespace tokensim
+
+#endif // TOKENSIM_WORKLOAD_YCSB_HH

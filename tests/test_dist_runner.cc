@@ -654,7 +654,8 @@ TEST(DistGolden, ReplayThroughWorkersReproducesCommittedDigests)
         ProtocolKind::tokenD,   ProtocolKind::tokenM,
         ProtocolKind::tokenA,   ProtocolKind::tokenNull,
     };
-    const char *const workloads[] = {"oltp", "producer-consumer"};
+    const char *const workloads[] = {"oltp", "producer-consumer",
+                                     "ycsb", "tpcc"};
 
     std::vector<ExperimentSpec> specs;
     for (ProtocolKind proto : protos) {

@@ -67,7 +67,7 @@ TEST(TokenD, StaleSoftStateRecoversViaReissue)
 
 TEST(TokenM, PredictorLearnsHolders)
 {
-    DestSetPredictor p(64, 64);
+    DestSetPredictor p(64, 64, 64);
     EXPECT_TRUE(p.predict(0x1000).empty());
     p.train(0x1000, 3);
     p.train(0x1000, 7);
@@ -77,9 +77,33 @@ TEST(TokenM, PredictorLearnsHolders)
     EXPECT_EQ(set[1], 7u);
 }
 
+TEST(TokenM, PredictorTracksNodesBeyond64)
+{
+    // Regression: the predictor's former single 64-bit mask silently
+    // dropped every node >= 64, so wide-machine multicasts always
+    // mispredicted high nodes and fell back to broadcast.
+    DestSetPredictor p(16, 64, 1024);
+    p.train(0x1000, 3);
+    p.train(0x1000, 64);
+    p.train(0x1000, 700);
+    p.train(0x1000, 1023);
+    const auto set = p.predict(0x1000);
+    ASSERT_EQ(set.size(), 4u);
+    EXPECT_EQ(set[0], 3u);
+    EXPECT_EQ(set[1], 64u);
+    EXPECT_EQ(set[2], 700u);
+    EXPECT_EQ(set[3], 1023u);
+
+    // An observed exclusive gather collapses the set to one high node.
+    p.trainExclusive(0x1000, 900);
+    const auto excl = p.predict(0x1000);
+    ASSERT_EQ(excl.size(), 1u);
+    EXPECT_EQ(excl[0], 900u);
+}
+
 TEST(TokenM, PredictorEvictsOnConflict)
 {
-    DestSetPredictor p(1, 64);   // single entry: every block aliases
+    DestSetPredictor p(1, 64, 64);   // single entry: every block aliases
     p.train(0x1000, 3);
     p.train(0x2000, 5);          // evicts 0x1000's entry
     EXPECT_TRUE(p.predict(0x1000).empty());

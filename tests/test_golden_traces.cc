@@ -9,7 +9,8 @@
  *
  * Artifacts live in tests/golden/ (located via the TOKENSIM_TESTS_DIR
  * compile definition):
- *   - golden_oltp.trace, golden_producer-consumer.trace: recorded on
+ *   - golden_<workload>.trace (oltp, producer-consumer, ycsb,
+ *     tpcc): recorded on
  *     the reference config below. Trace content is protocol-
  *     independent (sequencers pull exactly their budget regardless of
  *     protocol — tests/test_trace.cc proves it), so one trace per
@@ -40,7 +41,8 @@
 namespace tokensim {
 namespace {
 
-const char *const kWorkloads[] = {"oltp", "producer-consumer"};
+const char *const kWorkloads[] = {"oltp", "producer-consumer",
+                                  "ycsb", "tpcc"};
 
 const ProtocolKind kProtocols[] = {
     ProtocolKind::snooping, ProtocolKind::directory,

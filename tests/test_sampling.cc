@@ -390,5 +390,165 @@ TEST(Sampling, MeansWithinConfidenceBandOfFullRun)
     }
 }
 
+// ---------------------------------------------------------------------
+// Transactional presets and multi-tenant node groups.
+// ---------------------------------------------------------------------
+
+TEST(FastForward, ConservesTokensOnTransactionalPresets)
+{
+    for (const char *wl : {"ycsb", "tpcc"}) {
+        for (ProtocolKind proto :
+             {ProtocolKind::tokenB, ProtocolKind::tokenM}) {
+            SystemConfig cfg = baseCfg(proto, wl);
+            cfg.attachAuditor = true;
+            cfg.opsPerProcessor = 200;
+            System sys(cfg);
+            sys.fastForward(2000);
+            std::string err;
+            EXPECT_TRUE(sys.auditor()->auditAll(&err))
+                << wl << "/" << protocolName(proto)
+                << " after fast-forward: " << err;
+            sys.run();
+            EXPECT_TRUE(sys.auditor()->auditAll(&err))
+                << wl << "/" << protocolName(proto)
+                << " after detailed run: " << err;
+            EXPECT_EQ(sys.results().ops(),
+                      static_cast<std::uint64_t>(cfg.numNodes) *
+                          cfg.opsPerProcessor);
+        }
+    }
+}
+
+SystemConfig
+twoTenantCfg(ProtocolKind proto)
+{
+    SystemConfig cfg = baseCfg(proto);
+    cfg.tenants = {TenantSpec{WorkloadSpec("ycsb"), 4},
+                   TenantSpec{WorkloadSpec("tpcc"), 4}};
+    return cfg;
+}
+
+TEST(MultiTenant, BitIdenticalAcrossRunnerWidths)
+{
+    std::vector<ExperimentSpec> specs;
+    for (ProtocolKind p :
+         {ProtocolKind::tokenB, ProtocolKind::directory}) {
+        SystemConfig cfg = twoTenantCfg(p);
+        cfg.sampling = SamplingSpec{300, 100, 3};
+        cfg.opsPerProcessor = 0;
+        specs.push_back(ExperimentSpec{cfg, 2, protocolName(p)});
+    }
+    const std::vector<ExperimentResult> serial =
+        ParallelRunner(ParallelRunnerOptions{1}).run(specs);
+    for (int threads : {2, 4}) {
+        expectSameDigests(
+            ParallelRunner(ParallelRunnerOptions{threads}).run(specs),
+            serial);
+    }
+    for (int workers : {1, 2, 4}) {
+        DistRunnerOptions opts;
+        opts.workers = workers;
+        expectSameDigests(DistRunner(std::move(opts)).run(specs),
+                          serial);
+    }
+}
+
+TEST(MultiTenant, PerTenantMetricsPartitionSystemOps)
+{
+    SystemConfig cfg = twoTenantCfg(ProtocolKind::tokenB);
+    System sys(cfg);
+    sys.run();
+    const System::Results r = sys.results();
+    const std::uint64_t t0 = r.metrics.counterValue("tenant0_ops");
+    const std::uint64_t t1 = r.metrics.counterValue("tenant1_ops");
+    // Each group ran its own budget; together they are the system.
+    EXPECT_EQ(t0, std::uint64_t{4} * cfg.opsPerProcessor);
+    EXPECT_EQ(t1, std::uint64_t{4} * cfg.opsPerProcessor);
+    EXPECT_EQ(t0 + t1, r.ops());
+    // Both groups missed in their own address spaces.
+    EXPECT_GT(
+        r.metrics.statValue("tenant0_miss_latency_ticks").count(), 0u);
+    EXPECT_GT(
+        r.metrics.statValue("tenant1_miss_latency_ticks").count(), 0u);
+}
+
+TEST(MultiTenant, BadGroupConfigsAreTyped)
+{
+    // Group sizes must cover the machine exactly.
+    SystemConfig cfg = twoTenantCfg(ProtocolKind::tokenB);
+    cfg.tenants[1].nodes = 3;
+    EXPECT_THROW(System{cfg}, std::invalid_argument);
+    cfg.tenants[1].nodes = 5;
+    EXPECT_THROW(System{cfg}, std::invalid_argument);
+    // Empty groups are meaningless.
+    cfg.tenants[1].nodes = 0;
+    EXPECT_THROW(System{cfg}, std::invalid_argument);
+    // Recorded traces bake in a whole machine's node count.
+    cfg = twoTenantCfg(ProtocolKind::tokenB);
+    cfg.tenants[0].workload = WorkloadSpec::trace("whole.trace");
+    EXPECT_THROW(System{cfg}, std::invalid_argument);
+}
+
+TEST(MultiTenant, ShapeFingerprintSeesTenantList)
+{
+    const SystemConfig plain = baseCfg(ProtocolKind::tokenB);
+    SystemConfig tenanted = twoTenantCfg(ProtocolKind::tokenB);
+    EXPECT_NE(snapshotShapeFingerprint(plain),
+              snapshotShapeFingerprint(tenanted));
+    SystemConfig resized = tenanted;
+    resized.tenants[0].nodes = 5;
+    resized.tenants[1].nodes = 3;
+    EXPECT_NE(snapshotShapeFingerprint(tenanted),
+              snapshotShapeFingerprint(resized));
+}
+
+// ---------------------------------------------------------------------
+// Kilonode scale.
+// ---------------------------------------------------------------------
+
+TEST(Sampling, KilonodeSampledSmoke)
+{
+    // 1024 nodes end to end: small caches keep the footprint sane;
+    // the directory protocol avoids kilonode broadcast storms. This
+    // is the tier that flushed out <=64-node capacity assumptions
+    // (DestSetPredictor's single-word mask).
+    SystemConfig cfg;
+    cfg.numNodes = 1024;
+    cfg.topology = "torus";
+    cfg.protocol = ProtocolKind::directory;
+    cfg.workload = "ycsb";
+    cfg.l2 = CacheParams{64 * 1024, 4, 64, nsToTicks(6)};
+    cfg.seq.l1 = CacheParams{16 * 1024, 2, 64, nsToTicks(1)};
+    cfg.sampling = SamplingSpec{200, 50, 2};
+    cfg.opsPerProcessor = 0;
+    cfg.seed = 97;
+    System sys(cfg);
+    sys.run();
+    const System::Results r = sys.results();
+    EXPECT_EQ(r.ops(), std::uint64_t{2 * 50 * 1024});
+    EXPECT_GT(r.missLatency().count(), 0u);
+}
+
+TEST(MultiTenant, KilonodeTenantsKeepDisjointFootprints)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 1024;
+    cfg.topology = "torus";
+    cfg.protocol = ProtocolKind::directory;
+    cfg.tenants = {TenantSpec{WorkloadSpec("ycsb"), 512},
+                   TenantSpec{WorkloadSpec("tpcc"), 512}};
+    cfg.l2 = CacheParams{64 * 1024, 4, 64, nsToTicks(6)};
+    cfg.seq.l1 = CacheParams{16 * 1024, 2, 64, nsToTicks(1)};
+    cfg.opsPerProcessor = 60;
+    cfg.seed = 98;
+    System sys(cfg);
+    sys.run();
+    const System::Results r = sys.results();
+    EXPECT_EQ(r.metrics.counterValue("tenant0_ops"),
+              std::uint64_t{512 * 60});
+    EXPECT_EQ(r.metrics.counterValue("tenant1_ops"),
+              std::uint64_t{512 * 60});
+}
+
 } // namespace
 } // namespace tokensim

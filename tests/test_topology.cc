@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 
@@ -203,6 +204,56 @@ TEST(TopologyFactory, ByName)
     std::unique_ptr<Topology> torus(makeTopology("torus", 16));
     EXPECT_FALSE(torus->totallyOrdered());
     EXPECT_THROW(makeTopology("ring", 16), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Kilonode smokes: the structural invariants must hold at the 1024-
+// node tier the multi-tenant sweeps run at, not just at 4x4.
+// ---------------------------------------------------------------------
+
+TEST(TorusTopology, KilonodeSquareBroadcastAndHops)
+{
+    std::unique_ptr<TorusTopology> t(TorusTopology::makeSquare(1024));
+    EXPECT_EQ(t->kx(), 32);
+    EXPECT_EQ(t->ky(), 32);
+    // Shortest wrap distance caps at kx/2 + ky/2.
+    for (NodeId d : {NodeId{1}, NodeId{31}, NodeId{512},
+                     NodeId{1023}}) {
+        EXPECT_LE(t->hops(0, d), 32);
+        EXPECT_GE(t->hops(0, d), 1);
+    }
+    // Spanning broadcast from a few scattered roots.
+    for (NodeId s : {NodeId{0}, NodeId{511}, NodeId{1023}}) {
+        const auto &edges = t->broadcastTree(s);
+        ASSERT_EQ(edges.size(), 1023u);
+        std::set<int> reached;
+        for (const TreeEdge &e : edges)
+            reached.insert(e.to);
+        EXPECT_EQ(reached.size(), 1023u);
+        EXPECT_FALSE(reached.count(static_cast<int>(s)));
+    }
+}
+
+TEST(TreeTopology, KilonodeTreeStaysOrderedWithUniformDepth)
+{
+    TreeTopology t(1024, 4);
+    EXPECT_TRUE(t.totallyOrdered());
+    EXPECT_EQ(t.numNodes(), 1024);
+    // Every unicast between distinct nodes still climbs through the
+    // ordering root in a bounded number of crossings.
+    int max_hops = 0;
+    for (NodeId d : {NodeId{1}, NodeId{255}, NodeId{256},
+                     NodeId{1023}}) {
+        max_hops = std::max(max_hops, t.hops(0, d));
+        EXPECT_GE(t.hops(0, d), 2);
+    }
+    EXPECT_LE(max_hops, 12);
+    std::set<int> reached;
+    for (const TreeEdge &e : t.downTree()) {
+        if (e.to < t.numNodes())
+            reached.insert(e.to);
+    }
+    EXPECT_EQ(reached.size(), 1024u);
 }
 
 } // namespace

@@ -321,7 +321,7 @@ liveConfig(const std::string &preset)
 TEST(TraceReplay, ReplayReproducesLiveRunBitIdentically)
 {
     for (const char *preset : {"oltp", "producer-consumer",
-                               "lock-ping"}) {
+                               "lock-ping", "ycsb", "tpcc"}) {
         SCOPED_TRACE(preset);
         SystemConfig live = liveConfig(preset);
         live.recordTrace =

@@ -76,6 +76,24 @@ exhaustiveConfig()
     cfg.workload.prodConsBlocks = 33;
     cfg.workload.lockBlocks = 21;
     cfg.workload.sectionOps = -3;
+    cfg.workload.ycsbRecords = 777;
+    cfg.workload.ycsbTheta = 0.9375;
+    cfg.workload.ycsbReadFraction = 0.5625;
+    cfg.workload.ycsbUpdateFraction = 0.1875;
+    cfg.workload.ycsbScanLen = 23;
+    cfg.workload.tpccWarehouses = 44;
+    cfg.workload.tpccHomeFraction = 0.65625;
+    cfg.workload.tpccOpsPerTxn = 31;
+    cfg.workload.tpccThinkOps = -7;
+    TenantSpec tenant_a;
+    tenant_a.workload = WorkloadSpec("ycsb");
+    tenant_a.workload.ycsbTheta = 0.59375;
+    tenant_a.nodes = 5;
+    TenantSpec tenant_b;
+    tenant_b.workload = WorkloadSpec("tpcc");
+    tenant_b.workload.tpccOpsPerTxn = 3;
+    tenant_b.nodes = 7;
+    cfg.tenants = {tenant_a, tenant_b};
     cfg.recordTrace = "out/rec.trace";
     cfg.sampling = SamplingSpec{5000, 250, 19};
     cfg.warmSnapshot =
@@ -138,6 +156,9 @@ expectSameConfig(const SystemConfig &a, const SystemConfig &b)
     // WorkloadSpec::operator== covers every workload field (the
     // factory header documents it as the wire's serialization hook).
     EXPECT_TRUE(a.workload == b.workload);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i)
+        EXPECT_TRUE(a.tenants[i] == b.tenants[i]);
     EXPECT_EQ(a.recordTrace, b.recordTrace);
     EXPECT_EQ(a.sampling.ffOps, b.sampling.ffOps);
     EXPECT_EQ(a.sampling.measureOps, b.sampling.measureOps);
@@ -332,6 +353,15 @@ TEST(WireStructs, WorkloadSpecRoundTripsEveryField)
     spec.prodConsBlocks = 11;
     spec.lockBlocks = 13;
     spec.sectionOps = 42;
+    spec.ycsbRecords = 4097;
+    spec.ycsbTheta = 0.03125;
+    spec.ycsbReadFraction = 0.28125;
+    spec.ycsbUpdateFraction = 0.09375;
+    spec.ycsbScanLen = -5;
+    spec.tpccWarehouses = 129;
+    spec.tpccHomeFraction = 0.40625;
+    spec.tpccOpsPerTxn = -11;
+    spec.tpccThinkOps = 77;
 
     WireWriter w;
     encodeWorkloadSpec(w, spec);
@@ -340,6 +370,100 @@ TEST(WireStructs, WorkloadSpecRoundTripsEveryField)
     EXPECT_NO_THROW(r.expectEnd("workload spec"));
     EXPECT_TRUE(back == spec);
     EXPECT_FALSE(back != spec);
+}
+
+TEST(WireStructs, WorkloadSpecEqualityDiscriminatesEveryKnob)
+{
+    // operator== is the wire's serialization hook: each per-preset
+    // knob perturbed alone must break equality, or a knob could ship
+    // half-serialized without any test noticing.
+    const WorkloadSpec base;
+    const auto differs = [&](auto mutate) {
+        WorkloadSpec s = base;
+        mutate(s);
+        EXPECT_TRUE(s != base);
+    };
+    differs([](WorkloadSpec &s) { s.preset = "hot"; });
+    differs([](WorkloadSpec &s) { s.tracePath = "t.trace"; });
+    differs([](WorkloadSpec &s) { s.uniformBlocks += 1; });
+    differs([](WorkloadSpec &s) { s.storeFraction += 0.125; });
+    differs([](WorkloadSpec &s) { s.prodConsBlocks += 1; });
+    differs([](WorkloadSpec &s) { s.lockBlocks += 1; });
+    differs([](WorkloadSpec &s) { s.sectionOps += 1; });
+    differs([](WorkloadSpec &s) { s.ycsbRecords += 1; });
+    differs([](WorkloadSpec &s) { s.ycsbTheta += 0.125; });
+    differs([](WorkloadSpec &s) { s.ycsbReadFraction += 0.125; });
+    differs([](WorkloadSpec &s) { s.ycsbUpdateFraction += 0.125; });
+    differs([](WorkloadSpec &s) { s.ycsbScanLen += 1; });
+    differs([](WorkloadSpec &s) { s.tpccWarehouses += 1; });
+    differs([](WorkloadSpec &s) { s.tpccHomeFraction += 0.125; });
+    differs([](WorkloadSpec &s) { s.tpccOpsPerTxn += 1; });
+    differs([](WorkloadSpec &s) { s.tpccThinkOps += 1; });
+}
+
+TEST(WireStructs, EachWorkloadKnobSurvivesTheWireAlone)
+{
+    // Round-trip each knob's perturbation independently: catches a
+    // codec that serializes knob A into knob B's slot (a pure
+    // round-trip of an all-perturbed spec could still pass if two
+    // same-typed fields were swapped both ways).
+    std::vector<WorkloadSpec> variants;
+    const auto variant = [&](auto mutate) {
+        WorkloadSpec s;
+        mutate(s);
+        variants.push_back(s);
+    };
+    variant([](WorkloadSpec &s) { s.uniformBlocks = 123; });
+    variant([](WorkloadSpec &s) { s.storeFraction = 0.71875; });
+    variant([](WorkloadSpec &s) { s.prodConsBlocks = 77; });
+    variant([](WorkloadSpec &s) { s.lockBlocks = 3; });
+    variant([](WorkloadSpec &s) { s.sectionOps = -9; });
+    variant([](WorkloadSpec &s) { s.ycsbRecords = 31; });
+    variant([](WorkloadSpec &s) { s.ycsbTheta = 1.25; });
+    variant([](WorkloadSpec &s) { s.ycsbReadFraction = 0.15625; });
+    variant([](WorkloadSpec &s) { s.ycsbUpdateFraction = 0.46875; });
+    variant([](WorkloadSpec &s) { s.ycsbScanLen = 201; });
+    variant([](WorkloadSpec &s) { s.tpccWarehouses = 513; });
+    variant([](WorkloadSpec &s) { s.tpccHomeFraction = 0.21875; });
+    variant([](WorkloadSpec &s) { s.tpccOpsPerTxn = 1001; });
+    variant([](WorkloadSpec &s) { s.tpccThinkOps = -2; });
+    for (const WorkloadSpec &spec : variants) {
+        WireWriter w;
+        encodeWorkloadSpec(w, spec);
+        WireReader r(w.buffer());
+        const WorkloadSpec back = decodeWorkloadSpec(r);
+        EXPECT_NO_THROW(r.expectEnd("workload spec"));
+        EXPECT_TRUE(back == spec);
+    }
+}
+
+TEST(WireStructs, TenantListRoundTripsAndEmptyStaysEmpty)
+{
+    SystemConfig cfg;
+    EXPECT_TRUE(cfg.tenants.empty());
+    {
+        WireWriter w;
+        encodeSystemConfig(w, cfg);
+        WireReader r(w.buffer());
+        EXPECT_TRUE(decodeSystemConfig(r).tenants.empty());
+    }
+    TenantSpec a;
+    a.workload = WorkloadSpec("ycsb");
+    a.workload.ycsbRecords = 2048;
+    a.nodes = 192;
+    TenantSpec b;
+    b.workload = WorkloadSpec("tpcc");
+    b.workload.tpccThinkOps = 2;
+    b.nodes = 64;
+    cfg.numNodes = 256;
+    cfg.tenants = {a, b};
+    WireWriter w;
+    encodeSystemConfig(w, cfg);
+    WireReader r(w.buffer());
+    const SystemConfig back = decodeSystemConfig(r);
+    ASSERT_EQ(back.tenants.size(), 2u);
+    EXPECT_TRUE(back.tenants[0] == a);
+    EXPECT_TRUE(back.tenants[1] == b);
 }
 
 TEST(WireStructs, SystemConfigRoundTripsEveryField)

@@ -10,7 +10,9 @@
 #include <map>
 
 #include "workload/commercial.hh"
+#include "workload/tpcc.hh"
 #include "workload/workload.hh"
+#include "workload/ycsb.hh"
 
 namespace tokensim {
 namespace {
@@ -334,6 +336,201 @@ TEST(MicroWorkloads, PrivateRegionsDisjointAcrossNodes)
     }
     for (Addr a : a0)
         EXPECT_FALSE(a1.count(a));
+}
+
+TEST(YcsbPreset, AddressesStayInTable)
+{
+    AddressMap map;
+    YcsbParams p;
+    p.records = 4096;
+    YcsbWorkload w(2, 8, map, p, 7);
+    const Addr base = map.tableBase(8);
+    const Addr limit = base + p.records * map.blockBytes;
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = w.next().addr;
+        EXPECT_GE(a, base);
+        EXPECT_LT(a, limit);
+        EXPECT_EQ((a - base) % map.blockBytes, 0u);
+    }
+}
+
+TEST(YcsbPreset, MixMatchesFractions)
+{
+    // Walk transaction by transaction and classify: a lone load is a
+    // read, a load+store pair to one record is an update, a run of
+    // scanLen loads is a scan.
+    AddressMap map;
+    YcsbParams p;
+    p.records = 1 << 14;
+    p.readFraction = 0.6;
+    p.updateFraction = 0.3;
+    p.scanLen = 4;
+    YcsbWorkload w(0, 4, map, p, 11);
+    int reads = 0, updates = 0, scans = 0;
+    const int txns = 20000;
+    for (int t = 0; t < txns; ++t) {
+        std::vector<WorkloadOp> ops;
+        do {
+            ops.push_back(w.next());
+        } while (!ops.back().endsTransaction);
+        if (ops.size() == 1 && ops[0].op == MemOp::load) {
+            ++reads;
+        } else if (ops.size() == 2 && ops[0].op == MemOp::load &&
+                   ops[1].op == MemOp::store &&
+                   ops[0].addr == ops[1].addr) {
+            ++updates;
+        } else {
+            ++scans;
+            EXPECT_EQ(ops.size(),
+                      static_cast<std::size_t>(p.scanLen));
+            for (std::size_t i = 0; i < ops.size(); ++i) {
+                EXPECT_EQ(ops[i].op, MemOp::load);
+                if (i > 0) {
+                    // Sequential records, wrapping mod the table.
+                    const Addr base = map.tableBase(4);
+                    const std::uint64_t prev =
+                        (ops[i - 1].addr - base) / map.blockBytes;
+                    const std::uint64_t cur =
+                        (ops[i].addr - base) / map.blockBytes;
+                    EXPECT_EQ(cur, (prev + 1) % p.records);
+                }
+            }
+        }
+    }
+    EXPECT_NEAR(reads / double(txns), 0.6, 0.02);
+    EXPECT_NEAR(updates / double(txns), 0.3, 0.02);
+    EXPECT_NEAR(scans / double(txns), 0.1, 0.02);
+}
+
+TEST(YcsbPreset, ScrambleScattersHotKeysAcrossTable)
+{
+    // The Zipf-hot low ranks must not cluster at the table's start:
+    // scrambled positions of ranks 0..63 should spread over the full
+    // record range.
+    const std::uint64_t n = 1 << 16;
+    std::set<std::uint64_t> positions;
+    std::uint64_t above_half = 0;
+    for (std::uint64_t rank = 0; rank < 64; ++rank) {
+        const std::uint64_t k = YcsbWorkload::scramble(rank, n);
+        EXPECT_LT(k, n);
+        positions.insert(k);
+        above_half += k >= n / 2;
+    }
+    EXPECT_GE(positions.size(), 60u);   // essentially no collisions
+    EXPECT_GT(above_half, 16u);         // not clustered low
+    EXPECT_LT(above_half, 48u);         // not clustered high
+}
+
+TEST(YcsbPreset, DeterministicPerSeed)
+{
+    AddressMap map;
+    YcsbParams p;
+    YcsbWorkload a(1, 4, map, p, 99);
+    YcsbWorkload b(1, 4, map, p, 99);
+    for (int i = 0; i < 2000; ++i) {
+        const WorkloadOp x = a.next();
+        const WorkloadOp y = b.next();
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.op, y.op);
+        EXPECT_EQ(x.endsTransaction, y.endsTransaction);
+    }
+}
+
+TEST(TpccPreset, TransactionShape)
+{
+    AddressMap map;
+    TpccParams p;
+    p.opsPerTxn = 6;
+    p.thinkOps = 3;
+    const int num_nodes = 4;
+    TpccWorkload w(1, num_nodes, map, p, 13);
+    const Addr table = map.tableBase(num_nodes);
+    const Addr priv = map.privateBase(1);
+    for (int t = 0; t < 200; ++t) {
+        // Header RMW pair: load + store of some warehouse's block 0.
+        const WorkloadOp h0 = w.next();
+        const WorkloadOp h1 = w.next();
+        EXPECT_EQ(h0.op, MemOp::load);
+        EXPECT_EQ(h1.op, MemOp::store);
+        EXPECT_EQ(h0.addr, h1.addr);
+        EXPECT_GE(h0.addr, table);
+        const std::uint64_t slab_bytes =
+            TpccWorkload::kSlabBlocks * map.blockBytes;
+        EXPECT_EQ((h0.addr - table) % slab_bytes, 0u);
+        const std::uint64_t warehouse = (h0.addr - table) / slab_bytes;
+
+        // opsPerTxn record accesses inside that warehouse's slab; the
+        // last one ends the transaction.
+        for (int i = 0; i < p.opsPerTxn; ++i) {
+            const WorkloadOp r = w.next();
+            EXPECT_EQ((r.addr - table) / slab_bytes, warehouse);
+            EXPECT_NE((r.addr - table) % slab_bytes, 0u);
+            EXPECT_EQ(r.endsTransaction, i == p.opsPerTxn - 1);
+        }
+
+        // thinkOps private accesses.
+        for (int i = 0; i < p.thinkOps; ++i) {
+            const WorkloadOp th = w.next();
+            EXPECT_GE(th.addr, priv);
+            EXPECT_LT(th.addr, map.privateBase(2));
+            EXPECT_FALSE(th.endsTransaction);
+        }
+    }
+}
+
+TEST(TpccPreset, WarehouseLocalityMatchesHomeFraction)
+{
+    AddressMap map;
+    TpccParams p;
+    p.homeFraction = 0.85;
+    p.thinkOps = 0;
+    const int num_nodes = 8;
+    TpccWorkload w(3, num_nodes, map, p, 17);
+    EXPECT_EQ(w.homeWarehouse(), 3u);
+    const Addr table = map.tableBase(num_nodes);
+    const std::uint64_t slab_bytes =
+        TpccWorkload::kSlabBlocks * map.blockBytes;
+    int home = 0;
+    const int txns = 20000;
+    for (int t = 0; t < txns; ++t) {
+        const std::uint64_t warehouse =
+            (w.next().addr - table) / slab_bytes;
+        EXPECT_LT(warehouse, static_cast<std::uint64_t>(num_nodes));
+        home += warehouse == w.homeWarehouse();
+        // Drain the rest of the transaction.
+        while (!w.next().endsTransaction) {}
+    }
+    // P(home) = homeFraction + (1 - homeFraction)/warehouses.
+    EXPECT_NEAR(home / double(txns), 0.85 + 0.15 / 8, 0.02);
+}
+
+TEST(TpccPreset, ZeroWarehousesMeansOnePerNode)
+{
+    AddressMap map;
+    TpccParams p;   // warehouses = 0
+    const int num_nodes = 6;
+    std::set<std::uint64_t> homes;
+    for (int n = 0; n < num_nodes; ++n) {
+        TpccWorkload w(static_cast<NodeId>(n), num_nodes, map, p,
+                       n + 1);
+        homes.insert(w.homeWarehouse());
+    }
+    EXPECT_EQ(homes.size(), static_cast<std::size_t>(num_nodes));
+}
+
+TEST(TpccPreset, DeterministicPerSeed)
+{
+    AddressMap map;
+    TpccParams p;
+    TpccWorkload a(2, 8, map, p, 123);
+    TpccWorkload b(2, 8, map, p, 123);
+    for (int i = 0; i < 2000; ++i) {
+        const WorkloadOp x = a.next();
+        const WorkloadOp y = b.next();
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.op, y.op);
+        EXPECT_EQ(x.endsTransaction, y.endsTransaction);
+    }
 }
 
 } // namespace
